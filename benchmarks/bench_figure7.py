@@ -1,0 +1,40 @@
+"""Figure 7: Task 1 per-layer drawdown (a) and per-layer timing breakdown (b).
+
+The paper plots, for the 400-point repair set, the drawdown and the repair
+time (split into Jacobian / Gurobi / other) as a function of the repaired
+layer.  This benchmark regenerates both series for the scaled-down repair
+set and prints them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import per_layer_drawdown_series, per_layer_timing_series
+from repro.experiments.reporting import print_table
+from repro.experiments.task1_imagenet import provable_repair_per_layer
+
+#: Scaled-down analogue of the paper's 400-point repair set.
+NUM_POINTS = 16
+
+
+def test_figure7_per_layer_drawdown_and_timing(benchmark, task1_setup):
+    def run():
+        return provable_repair_per_layer(task1_setup, NUM_POINTS, norm="l1")
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    drawdowns = per_layer_drawdown_series(records)
+    timings = per_layer_timing_series(records)
+    rows = []
+    for position, layer_index in enumerate(drawdowns["layer_index"]):
+        rows.append(
+            {
+                "layer": int(layer_index),
+                "drawdown_%": float(drawdowns["drawdown"][position]),
+                "jacobian_s": float(timings["jacobian"][position]),
+                "lp_s": float(timings["lp"][position]),
+                "other_s": float(timings["other"][position]),
+            }
+        )
+    print_table(f"Figure 7 ({NUM_POINTS}-point repair set)", rows)
+    assert len(rows) == len(task1_setup.repairable_layers)
+    # At least one layer must have been repaired successfully.
+    assert any(not isinstance(row["drawdown_%"], float) or row["drawdown_%"] == row["drawdown_%"] for row in rows)

@@ -1,0 +1,39 @@
+"""Table 4 (appendix): Task 1 extended per-layer results.
+
+For each repair-set size: how many layers admit a feasible repair, the
+best/worst drawdown across feasible layers, and the fastest/slowest
+single-layer repair time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import format_seconds, print_table
+from repro.experiments.task1_imagenet import table4
+
+POINT_COUNTS = (8, 16, 24)
+
+
+@pytest.mark.parametrize("num_points", POINT_COUNTS)
+def test_table4_per_layer_summary(benchmark, task1_setup, num_points):
+    def run():
+        return table4(task1_setup, [num_points], norm="l1")[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Table 4 ({num_points} points)",
+        [
+            {
+                "points": row["points"],
+                "feasible": f"{row['feasible_layers']}/{row['total_layers']}",
+                "best_drawdown_%": row["best_drawdown"],
+                "worst_drawdown_%": row["worst_drawdown"],
+                "fastest": format_seconds(row["fastest_time"]),
+                "slowest": format_seconds(row["slowest_time"]),
+                "best_drawdown_time": format_seconds(row["best_drawdown_time"]),
+            }
+        ],
+    )
+    assert row["feasible_layers"] >= 1
+    assert row["best_drawdown"] <= row["worst_drawdown"]

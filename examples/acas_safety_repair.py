@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Task 3 scenario: enforce a φ8-style safety property on an ACAS Xu-like network.
+
+The advisory network trained on the collision-avoidance simulator violates
+the property "advise clear-of-conflict or weak left" on parts of the φ8 box.
+We find two-dimensional slices of the box containing violations, repair the
+network's final layer so the property provably holds on every point of those
+slices, and report drawdown/generalization against a fine-tuning baseline.
+
+Run with:  python examples/acas_safety_repair.py
+(The first run trains and caches the advisory network; later runs reuse it.)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_seconds, print_table
+from repro.experiments.task3_acas import (
+    fine_tune_slices,
+    provable_slice_repair,
+    setup_task3,
+)
+from repro.models.zoo import ModelZoo
+
+
+def main() -> None:
+    setup = setup_task3(ModelZoo(), num_slices=5)
+    if not setup.repair_slices:
+        print("The trained network happens to satisfy the property everywhere; nothing to repair.")
+        return
+    print(f"Found {len(setup.repair_slices)} property-violating 2-D slices to repair.")
+    print(f"Generalization set: {setup.generalization_points.shape[0]} other counterexamples")
+    print(f"Drawdown set: {setup.drawdown_points.shape[0]} already-safe encounters")
+
+    pr = provable_slice_repair(setup, norm="l1")
+    ft = fine_tune_slices(setup, points_per_slice=40)
+    print_table(
+        "Provable Repair vs fine-tuning on the φ8 slices",
+        [
+            {
+                "method": "Provable Repair",
+                "efficacy %": pr["efficacy"],
+                "drawdown %": pr["drawdown"],
+                "generalization %": pr["generalization"],
+                "time": format_seconds(pr["time_total"]),
+            },
+            {
+                "method": "Fine-tuning (FT)",
+                "efficacy %": ft["efficacy"],
+                "drawdown %": ft["drawdown"],
+                "generalization %": ft["generalization"],
+                "time": format_seconds(ft["time_total"]),
+            },
+        ],
+    )
+    print(
+        "\nProvable Repair guarantees the property on every point of the repaired"
+        " slices; fine-tuning only sees sampled points and offers no guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Task 2 scenario: repair a digit classifier on fog-corruption lines.
+
+A small fully-connected ReLU classifier is trained on clean synthetic digits
+and collapses on fog-corrupted ones.  We repair it so that *every* point on
+the line from each selected clean image to its fog-corrupted version is
+classified correctly (infinitely many points per line), then measure:
+
+* drawdown   — accuracy change on the clean test set,
+* generalization — accuracy change on fog-corrupted images *not* in the
+  repair specification.
+
+Run with:  python examples/mnist_fog_polytope_repair.py
+(The first run trains and caches the digit network; later runs reuse it.)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_seconds, print_table
+from repro.experiments.task2_mnist_lines import provable_line_repair, setup_task2
+from repro.models.zoo import ModelZoo
+
+NUM_LINES = 6
+
+
+def main() -> None:
+    setup = setup_task2(ModelZoo(), max_lines=NUM_LINES)
+    print("Buggy digit network:")
+    print(f"  clean test accuracy : {setup.buggy_clean_accuracy:.1f}%")
+    print(f"  foggy test accuracy : {setup.buggy_fog_accuracy:.1f}%")
+
+    rows = []
+    for layer_name, layer_index in (
+        ("layer 2", setup.layer_2_index),
+        ("layer 3", setup.layer_3_index),
+    ):
+        record = provable_line_repair(setup, NUM_LINES, layer_index, norm="l1")
+        rows.append(
+            {
+                "repaired layer": layer_name,
+                "key points": record["key_points"],
+                "efficacy %": record["efficacy"],
+                "drawdown %": record["drawdown"],
+                "generalization %": record["generalization"],
+                "time": format_seconds(record["time_total"]),
+            }
+        )
+    print_table(f"Provable polytope repair of {NUM_LINES} fog lines", rows)
+    print(
+        "\nEvery point of every repaired line (infinitely many) is now provably"
+        " classified as the clean image's digit."
+    )
+
+
+if __name__ == "__main__":
+    main()

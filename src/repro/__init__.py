@@ -1,0 +1,87 @@
+"""PRDNN: a reproduction of "Provable Repair of Deep Neural Networks".
+
+The public API is re-exported here so that typical usage looks like::
+
+    import repro
+
+    network = repro.Network([...])
+    spec = repro.PointRepairSpec.from_labels(points, labels, num_classes=10)
+    result = repro.point_repair(network, layer_index=-1, spec=spec)
+    repaired = result.network
+
+The package is organized as:
+
+``repro.core``
+    The paper's contribution: Decoupled DNNs, provable point repair
+    (Algorithm 1) and provable polytope repair (Algorithm 2).
+``repro.nn``
+    A from-scratch NumPy feed-forward network substrate (layers, forward
+    evaluation, backpropagation, SGD training).
+``repro.lp``
+    A linear-programming substrate with ℓ1/ℓ∞ objectives and two backends
+    (scipy HiGHS and a pure-Python two-phase simplex).
+``repro.syrenn``
+    Exact linear-region decompositions of piecewise-linear networks
+    restricted to 1-D lines and 2-D planes.
+``repro.polytope``
+    Convex-geometry helpers used by ``repro.syrenn``.
+``repro.datasets``, ``repro.models``
+    Synthetic stand-ins for the paper's three evaluation tasks.
+``repro.baselines``
+    The fine-tuning (FT) and modified fine-tuning (MFT) baselines.
+``repro.experiments``
+    Drivers that regenerate every table and figure of the evaluation.
+"""
+
+from repro.nn.network import Network
+from repro.nn.linear import FullyConnectedLayer
+from repro.nn.conv import Conv2DLayer
+from repro.nn.activations import (
+    ReLULayer,
+    TanhLayer,
+    SigmoidLayer,
+    LeakyReLULayer,
+    HardTanhLayer,
+)
+from repro.nn.pooling import AvgPool2DLayer, MaxPool2DLayer
+from repro.nn.reshape import FlattenLayer
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.specs import (
+    PointRepairSpec,
+    PolytopeRepairSpec,
+    OutputConstraint,
+    classification_constraint,
+)
+from repro.core.point_repair import point_repair
+from repro.core.polytope_repair import polytope_repair
+from repro.core.result import RepairResult, RepairTiming
+from repro.lp.model import LPModel
+from repro.lp.status import LPStatus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Network",
+    "FullyConnectedLayer",
+    "Conv2DLayer",
+    "ReLULayer",
+    "TanhLayer",
+    "SigmoidLayer",
+    "LeakyReLULayer",
+    "HardTanhLayer",
+    "AvgPool2DLayer",
+    "MaxPool2DLayer",
+    "FlattenLayer",
+    "DecoupledNetwork",
+    "PointRepairSpec",
+    "PolytopeRepairSpec",
+    "OutputConstraint",
+    "classification_constraint",
+    "point_repair",
+    "polytope_repair",
+    "RepairResult",
+    "RepairTiming",
+    "LPModel",
+    "LPStatus",
+    "__version__",
+]

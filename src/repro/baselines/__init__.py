@@ -1,0 +1,19 @@
+"""Fine-tuning baselines the paper compares Provable Repair against.
+
+* :func:`repro.baselines.fine_tune.fine_tune` — FT: gradient descent on all
+  parameters until every repair point is classified correctly (Sinitsin et
+  al. style; the paper's FT[1]/FT[2] differ only in hyperparameters).
+* :func:`repro.baselines.modified_fine_tune.modified_fine_tune` — MFT: a
+  single-layer fine-tune with a parameter-change penalty, a 25% holdout
+  split of the repair set, and early stopping when holdout accuracy drops.
+"""
+
+from repro.baselines.fine_tune import FineTuneResult, fine_tune
+from repro.baselines.modified_fine_tune import ModifiedFineTuneResult, modified_fine_tune
+
+__all__ = [
+    "fine_tune",
+    "FineTuneResult",
+    "modified_fine_tune",
+    "ModifiedFineTuneResult",
+]

@@ -1,0 +1,67 @@
+"""Batch Jacobian computation for the repair LPs.
+
+The repair algorithms need, for every repair point ``x``, the pair
+``(N(x), J_x)`` where ``J_x`` is the Jacobian of the DDNN output with respect
+to the repaired value-channel layer's parameters (line 5 of Algorithm 1).
+The single-point computation lives on
+:meth:`repro.core.ddnn.DecoupledNetwork.parameter_jacobian`; this module adds
+the loop over a specification's points and a finite-difference checker used
+by the test-suite to validate the closed-form Jacobians.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.specs import PointRepairSpec
+
+
+def specification_jacobians(
+    ddnn: DecoupledNetwork, layer_index: int, spec: PointRepairSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    """Outputs and Jacobians of the DDNN at every point of a specification.
+
+    Returns ``(outputs, jacobians)`` with shapes ``(k, m)`` and
+    ``(k, m, num_parameters)`` respectively.
+    """
+    outputs = []
+    jacobians = []
+    for index in range(spec.num_points):
+        output, jacobian = ddnn.parameter_jacobian(
+            layer_index,
+            spec.points[index],
+            spec.activation_point(index),
+        )
+        outputs.append(output)
+        jacobians.append(jacobian)
+    return np.array(outputs), np.array(jacobians)
+
+
+def finite_difference_jacobian(
+    ddnn: DecoupledNetwork,
+    layer_index: int,
+    value_point: np.ndarray,
+    activation_point: np.ndarray | None = None,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Numerically estimate the parameter Jacobian by central differences.
+
+    Only used for testing — it is exact up to floating point for DDNNs since
+    the output is affine in the layer's parameters (Theorem 4.5), which is
+    precisely what the tests verify against the closed form.
+    """
+    layer = ddnn.value.layers[layer_index]
+    base = layer.get_parameters()
+    jacobian = np.zeros((ddnn.output_size, base.size))
+    for column in range(base.size):
+        perturbed = base.copy()
+        perturbed[column] += epsilon
+        layer.set_parameters(perturbed)
+        plus = ddnn.compute(value_point, activation_point)
+        perturbed[column] -= 2 * epsilon
+        layer.set_parameters(perturbed)
+        minus = ddnn.compute(value_point, activation_point)
+        jacobian[:, column] = (plus - minus) / (2 * epsilon)
+    layer.set_parameters(base)
+    return jacobian

@@ -1,0 +1,37 @@
+"""Linearization of activation functions (Definition 4.2 of the paper).
+
+The actual per-layer implementations live on the activation layers
+themselves (:meth:`repro.nn.layer.Layer.linearize`); this module provides the
+free function used by the Decoupled DNN plus a helper for verifying the
+defining property of a linearization (used by the test-suite and useful when
+adding new activation layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layer import Layer, LayerKind, Linearization
+
+
+def linearize_activation(layer: Layer, preactivation: np.ndarray) -> Linearization:
+    """Return ``Linearize[σ, preactivation]`` for an activation layer ``σ``."""
+    if layer.kind is not LayerKind.ACTIVATION:
+        raise TypeError(f"{type(layer).__name__} is not an activation layer")
+    return layer.linearize(np.asarray(preactivation, dtype=np.float64))
+
+
+def linearization_exact_at_center(
+    layer: Layer, preactivation: np.ndarray, tolerance: float = 1e-9
+) -> bool:
+    """Check that the linearization agrees with σ at its center point.
+
+    This is the only property of the linearization that Theorems 4.4 and 4.5
+    rely on (Appendix C), so it is the invariant we verify for every
+    activation layer in the test-suite.
+    """
+    preactivation = np.asarray(preactivation, dtype=np.float64).ravel()
+    linearization = linearize_activation(layer, preactivation)
+    linearized = linearization.apply(preactivation[None, :])[0]
+    exact = layer.forward(preactivation[None, :])[0]
+    return bool(np.allclose(linearized, exact, atol=tolerance))

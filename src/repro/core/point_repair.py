@@ -1,0 +1,148 @@
+"""Provable Pointwise Repair — Algorithm 1 of the paper.
+
+Given a network ``N``, a layer index ``i``, and a pointwise repair
+specification ``(X, A·, b·)``, the algorithm:
+
+1. constructs the trivially equivalent DDNN (Theorem 4.4);
+2. for every point ``x ∈ X`` computes the output ``N(x)`` and the Jacobian
+   ``J_x`` of the DDNN output with respect to the parameters of value layer
+   ``i`` (exact by Theorem 4.5);
+3. collects the linear constraints ``A_x (N(x) + J_x Δ) ≤ b_x``;
+4. solves an LP minimizing the ℓ∞ and/or ℓ1 norm of ``Δ``;
+5. adds the optimal ``Δ`` into the value layer.
+
+The result is either a repaired DDNN that provably satisfies the
+specification with a minimal single-layer change, or a proof (LP
+infeasibility) that no single-layer repair of layer ``i`` exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.result import RepairResult, RepairTiming
+from repro.core.specs import PointRepairSpec
+from repro.exceptions import SpecificationError
+from repro.lp.model import LPModel
+from repro.lp.norms import add_norm_objective
+from repro.lp.status import LPStatus
+from repro.nn.network import Network
+from repro.utils.timing import Stopwatch
+
+
+def point_repair(
+    network: Network | DecoupledNetwork,
+    layer_index: int,
+    spec: PointRepairSpec,
+    *,
+    norm: str = "linf",
+    backend: str | None = None,
+    delta_bound: float | None = None,
+    timing: RepairTiming | None = None,
+) -> RepairResult:
+    """Repair one (value-channel) layer so every spec point satisfies its constraint.
+
+    Parameters
+    ----------
+    network:
+        The buggy network.  A plain :class:`Network` is decoupled first
+        (Theorem 4.4); an existing :class:`DecoupledNetwork` is copied.
+    layer_index:
+        Index of the layer to repair; must be a parameterized layer.
+    spec:
+        The pointwise repair specification.
+    norm:
+        Norm of ``Δ`` to minimize — ``"linf"``, ``"l1"``, or ``"l1+linf"``.
+    backend:
+        LP backend name (``None`` = default scipy/HiGHS backend).
+    delta_bound:
+        Optional box bound ``|Δ_i| ≤ delta_bound`` added to every delta
+        variable; occasionally useful to keep very large repairs numerically
+        tame.  ``None`` (the default, and the paper's setting) leaves the
+        deltas free.
+    timing:
+        An existing :class:`RepairTiming` to accumulate into (used by the
+        polytope repair algorithm, which has already spent time computing
+        linear regions).
+    """
+    if spec.input_dimension != _input_size(network):
+        raise SpecificationError(
+            f"specification points have dimension {spec.input_dimension}, "
+            f"network expects {_input_size(network)}"
+        )
+    watch = Stopwatch()
+    timing = timing if timing is not None else RepairTiming()
+
+    if isinstance(network, DecoupledNetwork):
+        ddnn = network.copy()
+    else:
+        ddnn = DecoupledNetwork.from_network(network)
+    layer_index = ddnn._check_repairable(layer_index)
+    num_parameters = ddnn.value.layers[layer_index].num_parameters
+
+    model = LPModel()
+    bound = np.inf if delta_bound is None else float(delta_bound)
+    delta_indices = model.add_variables(num_parameters, "delta", lower=-bound, upper=bound)
+
+    constraint_rows = 0
+    with watch.phase("jacobian"):
+        encoded_blocks = []
+        for index in range(spec.num_points):
+            output, jacobian = ddnn.parameter_jacobian(
+                layer_index, spec.points[index], spec.activation_point(index)
+            )
+            constraint = spec.constraints[index]
+            # A_x (N(x) + J Δ) ≤ b_x   ⇔   (A_x J) Δ ≤ b_x - A_x N(x)
+            encoded_blocks.append(
+                (constraint.a @ jacobian, constraint.b - constraint.a @ output)
+            )
+            constraint_rows += constraint.num_constraints
+    for matrix, rhs in encoded_blocks:
+        model.add_leq_block(matrix, rhs, delta_indices)
+    add_norm_objective(model, delta_indices, norm)
+
+    with watch.phase("lp"):
+        solution = model.solve(backend)
+
+    timing.jacobian_seconds += watch.total("jacobian")
+    timing.lp_seconds += watch.total("lp")
+    timing.other_seconds += watch.other()
+
+    if not solution.status.is_optimal:
+        feasible = False
+        status = solution.status
+        if status not in (LPStatus.INFEASIBLE, LPStatus.UNBOUNDED):
+            status = LPStatus.ERROR
+        return RepairResult(
+            feasible=feasible,
+            network=None,
+            delta=None,
+            layer_index=layer_index,
+            lp_status=status,
+            timing=timing,
+            num_key_points=spec.num_points,
+            num_constraint_rows=constraint_rows,
+            num_variables=model.num_variables,
+            norm=norm,
+        )
+
+    delta = solution.value_of(delta_indices)
+    ddnn.apply_parameter_delta(layer_index, delta)
+    return RepairResult(
+        feasible=True,
+        network=ddnn,
+        delta=delta,
+        layer_index=layer_index,
+        lp_status=solution.status,
+        timing=timing,
+        num_key_points=spec.num_points,
+        num_constraint_rows=constraint_rows,
+        num_variables=model.num_variables,
+        objective_value=solution.objective,
+        norm=norm,
+    )
+
+
+def _input_size(network: Network | DecoupledNetwork) -> int:
+    return network.input_size

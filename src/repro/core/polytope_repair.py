@@ -1,0 +1,125 @@
+"""Provable Polytope Repair — Algorithm 2 of the paper.
+
+A polytope repair specification constrains the network's output on input
+polytopes containing infinitely many points.  For piecewise-linear networks,
+value-channel edits never move the linear-region boundaries (Theorem 4.6), so
+within each linear region the repaired network is an affine map; an affine
+map sends a polytope into a target polytope exactly when it sends the
+polytope's vertices there.  The algorithm therefore:
+
+1. decomposes every specification polytope into the linear regions of the
+   network (``LinRegions``; computed by the SyReNN substrate);
+2. emits one key point per (region, vertex) pair, carrying the region's
+   interior point as the activation point so the key point is interpreted
+   under that region's activation pattern (Appendix B);
+3. calls pointwise repair (Algorithm 1) on the resulting finite
+   specification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.point_repair import point_repair
+from repro.core.result import RepairResult, RepairTiming
+from repro.core.specs import OutputConstraint, PointRepairSpec, PolytopeRepairSpec
+from repro.exceptions import NotPiecewiseLinearError, SpecificationError
+from repro.nn.network import Network
+from repro.polytope.segment import LineSegment
+from repro.syrenn.line import transform_line
+from repro.syrenn.plane import transform_plane
+from repro.utils.timing import Stopwatch
+
+
+def polytope_repair(
+    network: Network | DecoupledNetwork,
+    layer_index: int,
+    spec: PolytopeRepairSpec,
+    *,
+    norm: str = "linf",
+    backend: str | None = None,
+    delta_bound: float | None = None,
+) -> RepairResult:
+    """Repair one layer so the network satisfies the polytope specification.
+
+    Returns a :class:`RepairResult`; ``feasible=False`` means no single-layer
+    repair of ``layer_index`` satisfies the specification.  Raises
+    :class:`NotPiecewiseLinearError` if the network uses activation functions
+    that are not piecewise linear (the paper's assumption for Algorithm 2).
+    """
+    if spec.num_polytopes == 0:
+        raise SpecificationError("the polytope specification has no polytopes")
+    activation_network = (
+        network.activation if isinstance(network, DecoupledNetwork) else network
+    )
+    if not activation_network.is_piecewise_linear():
+        raise NotPiecewiseLinearError(
+            "polytope repair requires piecewise-linear activation functions"
+        )
+
+    watch = Stopwatch()
+    timing = RepairTiming()
+    with watch.phase("linregions"):
+        key_points, activation_points, constraints = reduce_to_key_points(
+            activation_network, spec
+        )
+    timing.linregions_seconds += watch.total("linregions")
+
+    point_spec = PointRepairSpec(
+        points=np.array(key_points),
+        constraints=constraints,
+        activation_points=np.array(activation_points),
+    )
+    return point_repair(
+        network,
+        layer_index,
+        point_spec,
+        norm=norm,
+        backend=backend,
+        delta_bound=delta_bound,
+        timing=timing,
+    )
+
+
+def reduce_to_key_points(
+    network: Network, spec: PolytopeRepairSpec
+) -> tuple[list[np.ndarray], list[np.ndarray], list[OutputConstraint]]:
+    """Reduce a polytope specification to (key point, activation point, constraint) triples.
+
+    Exposed separately so experiments can report the number of key points
+    (the "Points" column of Table 2) and so the FT/MFT baselines can be given
+    a comparable number of sampled points.
+    """
+    key_points: list[np.ndarray] = []
+    activation_points: list[np.ndarray] = []
+    constraints: list[OutputConstraint] = []
+    for entry in spec.entries:
+        if isinstance(entry.region, LineSegment):
+            partition = transform_line(network, entry.region)
+            for region in partition.regions:
+                interior = region.interior_point
+                for vertex in region.vertices:
+                    key_points.append(np.asarray(vertex, dtype=np.float64))
+                    activation_points.append(interior)
+                    constraints.append(entry.constraint)
+        else:
+            partition = transform_plane(network, entry.region)
+            for region in partition.regions:
+                interior = region.interior_point
+                for vertex in region.input_vertices:
+                    key_points.append(np.asarray(vertex, dtype=np.float64))
+                    activation_points.append(interior)
+                    constraints.append(entry.constraint)
+    if not key_points:
+        raise SpecificationError("the polytope specification produced no key points")
+    return key_points, activation_points, constraints
+
+
+def count_key_points(network: Network | DecoupledNetwork, spec: PolytopeRepairSpec) -> int:
+    """Number of key points Algorithm 2 will generate for this specification."""
+    activation_network = (
+        network.activation if isinstance(network, DecoupledNetwork) else network
+    )
+    key_points, _, _ = reduce_to_key_points(activation_network, spec)
+    return len(key_points)

@@ -1,0 +1,44 @@
+"""Synthetic datasets standing in for the paper's evaluation data.
+
+The paper evaluates on ImageNet + Natural Adversarial Examples (Task 1),
+MNIST + MNIST-C fog (Task 2), and the ACAS Xu collision-avoidance inputs
+(Task 3).  None of those datasets are available offline, so this package
+generates procedural substitutes that exercise the same repair code paths
+(see DESIGN.md §3 for the substitution rationale):
+
+* :mod:`repro.datasets.digits` — procedurally rendered digit images (the
+  MNIST substitute) with train/test splits.
+* :mod:`repro.datasets.corruptions` — fog and related corruptions (the
+  MNIST-C substitute).
+* :mod:`repro.datasets.imagenet_mini` — a 9-class colour image generator
+  plus a "natural adversarial" generator (the ImageNet/NAE substitute).
+* :mod:`repro.datasets.acas` — a geometric collision-avoidance simulator
+  producing the five ACAS Xu advisories, plus the φ8-style safety property.
+"""
+
+from repro.datasets.digits import DigitDataset, generate_digit_dataset, render_digit
+from repro.datasets.corruptions import fog_corrupt, brightness_corrupt, noise_corrupt
+from repro.datasets.imagenet_mini import MiniImageNet, generate_mini_imagenet
+from repro.datasets.acas import (
+    AcasScenario,
+    AcasDataset,
+    generate_acas_dataset,
+    ground_truth_advisory,
+    ADVISORY_NAMES,
+)
+
+__all__ = [
+    "DigitDataset",
+    "generate_digit_dataset",
+    "render_digit",
+    "fog_corrupt",
+    "brightness_corrupt",
+    "noise_corrupt",
+    "MiniImageNet",
+    "generate_mini_imagenet",
+    "AcasScenario",
+    "AcasDataset",
+    "generate_acas_dataset",
+    "ground_truth_advisory",
+    "ADVISORY_NAMES",
+]

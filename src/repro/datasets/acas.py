@@ -1,0 +1,230 @@
+"""ACAS Xu substitute: a geometric collision-avoidance simulator plus the
+φ8-style safety property — the Task 3 substrate.
+
+The real ACAS Xu networks compress a large lookup table of horizontal
+collision-avoidance advisories.  The table itself is not public, so this
+module implements a geometric stand-in policy: given the standard
+five-dimensional encounter state
+
+``(ρ, θ, ψ, v_own, v_int)``
+
+* ``ρ``      — distance to the intruder (ft),
+* ``θ``      — angle of the intruder relative to own heading (rad, ccw),
+* ``ψ``      — intruder heading relative to own heading (rad),
+* ``v_own``  — own speed (ft/s),
+* ``v_int``  — intruder speed (ft/s),
+
+it returns one of the five standard advisories (clear-of-conflict, weak
+left/right, strong left/right) based on time-to-approach and bearing.  A
+small ReLU network trained on this policy plays the role of N_{2,9}, and the
+φ8-style property ("when the intruder is far behind on the left, advise
+clear-of-conflict or weak left") plays the role of the paper's φ8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+#: Advisory indices, following the standard ACAS Xu ordering.
+CLEAR_OF_CONFLICT = 0
+WEAK_LEFT = 1
+WEAK_RIGHT = 2
+STRONG_LEFT = 3
+STRONG_RIGHT = 4
+
+ADVISORY_NAMES = ("COC", "weak-left", "weak-right", "strong-left", "strong-right")
+
+#: Input ranges used for normalization and sampling.
+RHO_RANGE = (0.0, 60000.0)
+THETA_RANGE = (-np.pi, np.pi)
+PSI_RANGE = (-np.pi, np.pi)
+V_OWN_RANGE = (100.0, 1200.0)
+V_INT_RANGE = (0.0, 1200.0)
+
+INPUT_RANGES = (RHO_RANGE, THETA_RANGE, PSI_RANGE, V_OWN_RANGE, V_INT_RANGE)
+
+
+@dataclass
+class AcasScenario:
+    """One encounter state in physical units."""
+
+    rho: float
+    theta: float
+    psi: float
+    v_own: float
+    v_int: float
+
+    def as_array(self) -> np.ndarray:
+        """The raw (un-normalized) five-dimensional state."""
+        return np.array([self.rho, self.theta, self.psi, self.v_own, self.v_int])
+
+
+def normalize_state(state: np.ndarray) -> np.ndarray:
+    """Scale a raw state (or batch of states) to roughly [-1, 1] per feature."""
+    state = np.asarray(state, dtype=np.float64)
+    lows = np.array([low for low, _ in INPUT_RANGES])
+    highs = np.array([high for _, high in INPUT_RANGES])
+    return 2.0 * (state - lows) / (highs - lows) - 1.0
+
+
+def denormalize_state(state: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`normalize_state`."""
+    state = np.asarray(state, dtype=np.float64)
+    lows = np.array([low for low, _ in INPUT_RANGES])
+    highs = np.array([high for _, high in INPUT_RANGES])
+    return lows + (state + 1.0) / 2.0 * (highs - lows)
+
+
+def ground_truth_advisory(scenario: AcasScenario) -> int:
+    """The simulator's advisory for one encounter.
+
+    The policy is intentionally simple but has the qualitative structure of
+    the real system: far-away or diverging intruders get clear-of-conflict,
+    nearby intruders get a turn away from their bearing, and the strength of
+    the turn grows as the encounter gets closer and faster.
+    """
+    # Closing speed along the line of sight (positive = closing).
+    intruder_velocity = np.array(
+        [scenario.v_int * np.cos(scenario.psi), scenario.v_int * np.sin(scenario.psi)]
+    )
+    own_velocity = np.array([scenario.v_own, 0.0])
+    relative_velocity = intruder_velocity - own_velocity
+    line_of_sight = np.array([np.cos(scenario.theta), np.sin(scenario.theta)])
+    closing_speed = -float(relative_velocity @ line_of_sight)
+
+    if scenario.rho > 30000.0 or closing_speed <= 0.0:
+        return CLEAR_OF_CONFLICT
+    time_to_approach = scenario.rho / max(closing_speed, 1e-3)
+    if time_to_approach > 60.0:
+        return CLEAR_OF_CONFLICT
+    # Intruder on the left (theta > 0) -> turn right (away), and vice versa.
+    turn_right = scenario.theta > 0.0
+    strong = time_to_approach < 25.0 or scenario.rho < 8000.0
+    if turn_right:
+        return STRONG_RIGHT if strong else WEAK_RIGHT
+    return STRONG_LEFT if strong else WEAK_LEFT
+
+
+@dataclass
+class AcasDataset:
+    """Normalized states and ground-truth advisories for training/evaluation."""
+
+    train_states: np.ndarray
+    train_labels: np.ndarray
+    test_states: np.ndarray
+    test_labels: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        """Number of advisories (always 5)."""
+        return len(ADVISORY_NAMES)
+
+
+def sample_scenario(rng: np.random.Generator) -> AcasScenario:
+    """Sample one encounter uniformly from the input ranges."""
+    values = [rng.uniform(low, high) for low, high in INPUT_RANGES]
+    return AcasScenario(*values)
+
+
+def generate_acas_dataset(
+    train_size: int = 4000,
+    test_size: int = 1500,
+    seed: int | np.random.Generator | None = 0,
+) -> AcasDataset:
+    """Sample encounters and label them with the simulator policy."""
+    rng = ensure_rng(seed)
+
+    def build(count: int) -> tuple[np.ndarray, np.ndarray]:
+        states, labels = [], []
+        for _ in range(count):
+            scenario = sample_scenario(rng)
+            states.append(normalize_state(scenario.as_array()))
+            labels.append(ground_truth_advisory(scenario))
+        return np.array(states), np.array(labels, dtype=int)
+
+    train_states, train_labels = build(train_size)
+    test_states, test_labels = build(test_size)
+    return AcasDataset(train_states, train_labels, test_states, test_labels)
+
+
+# ----------------------------------------------------------------------
+# The φ8-style safety property
+# ----------------------------------------------------------------------
+@dataclass
+class SafetyProperty:
+    """A φ8-style property: on a box of encounters, only some advisories are safe.
+
+    ``raw_lower``/``raw_upper`` bound the box in physical units; ``allowed``
+    lists the advisory indices the network may output anywhere in the box.
+    The paper's φ8 has exactly this shape ("the advisory is clear-of-conflict
+    or weak left" on a large region of the input space).
+    """
+
+    raw_lower: np.ndarray
+    raw_upper: np.ndarray
+    allowed: tuple[int, ...]
+
+    @property
+    def normalized_lower(self) -> np.ndarray:
+        """Lower corner of the box in normalized coordinates."""
+        return normalize_state(self.raw_lower)
+
+    @property
+    def normalized_upper(self) -> np.ndarray:
+        """Upper corner of the box in normalized coordinates."""
+        return normalize_state(self.raw_upper)
+
+    def satisfied_on(self, predictions: np.ndarray) -> np.ndarray:
+        """Boolean mask of which predicted advisories satisfy the property."""
+        predictions = np.asarray(predictions, dtype=int)
+        mask = np.zeros_like(predictions, dtype=bool)
+        for advisory in self.allowed:
+            mask |= predictions == advisory
+        return mask
+
+    def sample_states(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform normalized states from the property box."""
+        raw = rng.uniform(self.raw_lower, self.raw_upper, size=(count, 5))
+        return normalize_state(raw)
+
+    def random_slice(self, rng: np.random.Generator, varied_dims: tuple[int, int] | None = None) -> np.ndarray:
+        """A random axis-aligned 2-D rectangle (4 vertices) inside the box.
+
+        Two dimensions vary over their full property range; the remaining
+        three are fixed at a random point inside the box.  Returns the
+        rectangle's vertices in normalized coordinates, ordered
+        counter-clockwise, as a ``(4, 5)`` array.
+        """
+        if varied_dims is None:
+            varied = rng.choice(5, size=2, replace=False)
+        else:
+            varied = np.array(varied_dims, dtype=int)
+        fixed_point = rng.uniform(self.raw_lower, self.raw_upper)
+        corners_raw = []
+        for corner in ((0, 0), (1, 0), (1, 1), (0, 1)):
+            point = fixed_point.copy()
+            for position, dim in enumerate(varied):
+                low, high = self.raw_lower[dim], self.raw_upper[dim]
+                point[dim] = low if corner[position] == 0 else high
+            corners_raw.append(point)
+        return normalize_state(np.array(corners_raw))
+
+
+def phi8_property() -> SafetyProperty:
+    """The φ8-style property used by Task 3.
+
+    Region: the intruder is at moderate-to-large distance on the right-hand
+    side (θ < 0, so any turn should be to the left), with a slow intruder and
+    a faster ownship.  Inside this box the simulator policy only ever advises
+    clear-of-conflict or weak left (the box straddles the COC/weak-left
+    decision boundary but stays away from the strong-turn regime), so a
+    correct network must output one of those two advisories everywhere — the
+    same "COC or weak left" shape as the paper's φ8.
+    """
+    raw_lower = np.array([21000.0, -0.90 * np.pi, -0.3, 600.0, 0.0])
+    raw_upper = np.array([35000.0, -0.05 * np.pi, 0.3, 800.0, 400.0])
+    return SafetyProperty(raw_lower, raw_upper, allowed=(CLEAR_OF_CONFLICT, WEAK_LEFT))

@@ -1,0 +1,79 @@
+"""Image corruptions — the MNIST-C substitute.
+
+The paper's Task 2 repairs a digit classifier on images corrupted with *fog*
+from the MNIST-C benchmark.  :func:`fog_corrupt` reproduces the visual
+effect that matters for the repair problem: a bright, smoothly varying haze
+blended over the image, which washes out the stroke contrast and collapses
+the accuracy of a classifier trained on clean digits.  Brightness and noise
+corruptions are provided for additional generalization experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def _smooth_field(side: int, rng: np.random.Generator, smoothness: int = 3) -> np.ndarray:
+    """A smooth random field in [0, 1] of shape ``(side, side)``."""
+    coarse_side = max(2, side // smoothness)
+    coarse = rng.uniform(0.0, 1.0, size=(coarse_side, coarse_side))
+    # Bilinear upsample to (side, side).
+    row_positions = np.linspace(0, coarse_side - 1, side)
+    col_positions = np.linspace(0, coarse_side - 1, side)
+    row_low = np.floor(row_positions).astype(int)
+    col_low = np.floor(col_positions).astype(int)
+    row_high = np.minimum(row_low + 1, coarse_side - 1)
+    col_high = np.minimum(col_low + 1, coarse_side - 1)
+    row_frac = (row_positions - row_low)[:, None]
+    col_frac = (col_positions - col_low)[None, :]
+    top = coarse[row_low][:, col_low] * (1 - col_frac) + coarse[row_low][:, col_high] * col_frac
+    bottom = coarse[row_high][:, col_low] * (1 - col_frac) + coarse[row_high][:, col_high] * col_frac
+    return top * (1 - row_frac) + bottom * row_frac
+
+
+def fog_corrupt(
+    image: np.ndarray,
+    severity: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+    side: int | None = None,
+) -> np.ndarray:
+    """Blend a bright smooth haze over a flat grayscale image.
+
+    ``severity`` in [0, 1] controls the blending weight; 0 returns the image
+    unchanged and 1 applies full fog.  The output stays in [0, 1].
+    """
+    rng = ensure_rng(rng)
+    image = np.asarray(image, dtype=np.float64).ravel()
+    if side is None:
+        side = int(round(np.sqrt(image.size)))
+    if side * side != image.size:
+        raise ValueError("image is not square; pass side explicitly")
+    severity = float(np.clip(severity, 0.0, 1.0))
+    haze = 0.6 + 0.4 * _smooth_field(side, rng)
+    blend = severity * 0.75
+    corrupted = (1.0 - blend) * image.reshape(side, side) + blend * haze
+    return np.clip(corrupted, 0.0, 1.0).ravel()
+
+
+def brightness_corrupt(image: np.ndarray, shift: float = 0.4) -> np.ndarray:
+    """Add a constant brightness shift (clipped to [0, 1])."""
+    return np.clip(np.asarray(image, dtype=np.float64) + shift, 0.0, 1.0)
+
+
+def noise_corrupt(
+    image: np.ndarray,
+    scale: float = 0.3,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Add Gaussian pixel noise (clipped to [0, 1])."""
+    rng = ensure_rng(rng)
+    image = np.asarray(image, dtype=np.float64)
+    return np.clip(image + rng.normal(0.0, scale, size=image.shape), 0.0, 1.0)
+
+
+def corrupt_batch(images: np.ndarray, corruption, **kwargs) -> np.ndarray:
+    """Apply a corruption function to every row of a batch."""
+    images = np.atleast_2d(np.asarray(images, dtype=np.float64))
+    return np.array([corruption(row, **kwargs) for row in images])

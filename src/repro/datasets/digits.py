@@ -1,0 +1,149 @@
+"""Procedurally rendered digit images — the MNIST substitute for Task 2.
+
+Each digit class 0–9 is drawn as a set of strokes on a seven-segment-style
+template over a ``side × side`` grid, then randomly translated, scaled in
+intensity, thickened, and perturbed with pixel noise.  The resulting
+classification problem is easy enough that the small ReLU networks used by
+the experiments reach high accuracy in a few epochs of SGD, yet hard enough
+under fog corruption (see :mod:`repro.datasets.corruptions`) that accuracy
+collapses — which is exactly the situation Task 2 of the paper repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+#: Default image side length (images are ``side × side`` grayscale in [0, 1]).
+DEFAULT_SIDE = 12
+
+#: Seven-segment layout: which of segments (top, top-left, top-right, middle,
+#: bottom-left, bottom-right, bottom) are lit for each digit.
+_SEGMENTS_PER_DIGIT = {
+    0: (1, 1, 1, 0, 1, 1, 1),
+    1: (0, 0, 1, 0, 0, 1, 0),
+    2: (1, 0, 1, 1, 1, 0, 1),
+    3: (1, 0, 1, 1, 0, 1, 1),
+    4: (0, 1, 1, 1, 0, 1, 0),
+    5: (1, 1, 0, 1, 0, 1, 1),
+    6: (1, 1, 0, 1, 1, 1, 1),
+    7: (1, 0, 1, 0, 0, 1, 0),
+    8: (1, 1, 1, 1, 1, 1, 1),
+    9: (1, 1, 1, 1, 0, 1, 1),
+}
+
+
+def _segment_masks(side: int) -> list[np.ndarray]:
+    """Binary masks (side × side) for the seven segments."""
+    canvas = np.zeros((side, side))
+    top, bottom = 1, side - 2
+    left, right = 2, side - 3
+    middle = side // 2
+    masks = []
+    # top
+    mask = canvas.copy()
+    mask[top, left:right + 1] = 1.0
+    masks.append(mask)
+    # top-left
+    mask = canvas.copy()
+    mask[top:middle + 1, left] = 1.0
+    masks.append(mask)
+    # top-right
+    mask = canvas.copy()
+    mask[top:middle + 1, right] = 1.0
+    masks.append(mask)
+    # middle
+    mask = canvas.copy()
+    mask[middle, left:right + 1] = 1.0
+    masks.append(mask)
+    # bottom-left
+    mask = canvas.copy()
+    mask[middle:bottom + 1, left] = 1.0
+    masks.append(mask)
+    # bottom-right
+    mask = canvas.copy()
+    mask[middle:bottom + 1, right] = 1.0
+    masks.append(mask)
+    # bottom
+    mask = canvas.copy()
+    mask[bottom, left:right + 1] = 1.0
+    masks.append(mask)
+    return masks
+
+
+def render_digit(
+    digit: int,
+    rng: np.random.Generator | int | None = None,
+    side: int = DEFAULT_SIDE,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Render one noisy image of ``digit``; returns a flat ``side*side`` vector."""
+    if digit not in _SEGMENTS_PER_DIGIT:
+        raise ValueError(f"digit must be 0-9, got {digit}")
+    rng = ensure_rng(rng)
+    masks = _segment_masks(side)
+    image = np.zeros((side, side))
+    intensity = rng.uniform(0.7, 1.0)
+    for lit, mask in zip(_SEGMENTS_PER_DIGIT[digit], masks):
+        if lit:
+            image = np.maximum(image, intensity * mask)
+    # Random thickening: blur the strokes slightly by max-pooling a shifted copy.
+    if rng.uniform() < 0.5:
+        shifted = np.zeros_like(image)
+        shifted[:, 1:] = image[:, :-1]
+        image = np.maximum(image, 0.8 * shifted)
+    # Random translation by up to one pixel in each direction.
+    shift_row = int(rng.integers(-1, 2))
+    shift_col = int(rng.integers(-1, 2))
+    image = np.roll(image, (shift_row, shift_col), axis=(0, 1))
+    # Pixel noise.
+    image = image + rng.normal(0.0, noise, size=image.shape)
+    return np.clip(image, 0.0, 1.0).ravel()
+
+
+@dataclass
+class DigitDataset:
+    """A train/test split of rendered digit images."""
+
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    side: int = DEFAULT_SIDE
+
+    @property
+    def input_size(self) -> int:
+        """Number of pixels per image."""
+        return self.train_images.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of digit classes (always 10)."""
+        return 10
+
+
+def generate_digit_dataset(
+    train_per_class: int = 60,
+    test_per_class: int = 30,
+    side: int = DEFAULT_SIDE,
+    noise: float = 0.05,
+    seed: int | np.random.Generator | None = 0,
+) -> DigitDataset:
+    """Generate a digit dataset with the given per-class sizes."""
+    rng = ensure_rng(seed)
+
+    def build(per_class: int) -> tuple[np.ndarray, np.ndarray]:
+        images, labels = [], []
+        for digit in range(10):
+            for _ in range(per_class):
+                images.append(render_digit(digit, rng, side=side, noise=noise))
+                labels.append(digit)
+        order = rng.permutation(len(images))
+        return np.array(images)[order], np.array(labels, dtype=int)[order]
+
+    train_images, train_labels = build(train_per_class)
+    test_images, test_labels = build(test_per_class)
+    return DigitDataset(train_images, train_labels, test_images, test_labels, side=side)

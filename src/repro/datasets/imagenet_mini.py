@@ -1,0 +1,187 @@
+"""MiniImageNet: a 9-class procedural colour-image dataset plus "natural
+adversarial examples" — the ImageNet/NAE substitute for Task 1.
+
+Each class is a distinctive geometric texture (stripes, checkerboard, disc,
+cross, ...) rendered in a class-specific colour palette with random phase,
+position, and noise.  The *natural adversarial* generator renders the same
+class textures under a distribution shift — palette rotation, heavy clutter,
+and reduced contrast — that a network trained on the clean distribution
+frequently misclassifies, mirroring how NAE images are in-distribution for a
+human but adversarial for an ImageNet model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+#: Image geometry: 3 colour channels, DEFAULT_SIDE × DEFAULT_SIDE pixels.
+DEFAULT_SIDE = 16
+NUM_CHANNELS = 3
+
+#: The nine classes (the paper uses nine alphabetically chosen NAE classes).
+CLASS_NAMES = (
+    "horizontal_stripes",
+    "vertical_stripes",
+    "checkerboard",
+    "disc",
+    "cross",
+    "diagonal",
+    "rings",
+    "corner_blob",
+    "gradient",
+)
+
+#: Base colour (RGB in [0, 1]) per class.
+_CLASS_COLORS = np.array(
+    [
+        [0.9, 0.2, 0.2],
+        [0.2, 0.9, 0.2],
+        [0.2, 0.2, 0.9],
+        [0.9, 0.9, 0.2],
+        [0.9, 0.2, 0.9],
+        [0.2, 0.9, 0.9],
+        [0.95, 0.6, 0.2],
+        [0.6, 0.3, 0.9],
+        [0.7, 0.7, 0.7],
+    ]
+)
+
+
+def _texture(class_index: int, side: int, rng: np.random.Generator) -> np.ndarray:
+    """A [0, 1] grayscale texture characteristic of the class."""
+    rows, cols = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    phase = int(rng.integers(0, 4))
+    period = int(rng.integers(3, 6))
+    name = CLASS_NAMES[class_index]
+    if name == "horizontal_stripes":
+        texture = ((rows + phase) // period) % 2
+    elif name == "vertical_stripes":
+        texture = ((cols + phase) // period) % 2
+    elif name == "checkerboard":
+        texture = (((rows + phase) // period) + ((cols + phase) // period)) % 2
+    elif name == "disc":
+        center = side / 2 + rng.uniform(-2, 2, size=2)
+        radius = side / 3
+        texture = ((rows - center[0]) ** 2 + (cols - center[1]) ** 2 <= radius**2).astype(float)
+    elif name == "cross":
+        center = side // 2 + int(rng.integers(-2, 3))
+        texture = ((np.abs(rows - center) <= 1) | (np.abs(cols - center) <= 1)).astype(float)
+    elif name == "diagonal":
+        texture = (((rows + cols + phase) // period) % 2).astype(float)
+    elif name == "rings":
+        center = side / 2
+        distance = np.sqrt((rows - center) ** 2 + (cols - center) ** 2)
+        texture = ((distance.astype(int) + phase) // 2 % 2).astype(float)
+    elif name == "corner_blob":
+        corner = rng.integers(0, 2, size=2) * (side - 1)
+        distance = np.sqrt((rows - corner[0]) ** 2 + (cols - corner[1]) ** 2)
+        texture = (distance <= side / 2).astype(float)
+    elif name == "gradient":
+        texture = (rows + cols) / (2.0 * (side - 1))
+    else:  # pragma: no cover - exhaustive over CLASS_NAMES
+        raise ValueError(f"unknown class index {class_index}")
+    return texture.astype(np.float64)
+
+
+def render_class_image(
+    class_index: int,
+    rng: np.random.Generator | int | None = None,
+    side: int = DEFAULT_SIDE,
+    noise: float = 0.05,
+    adversarial: bool = False,
+) -> np.ndarray:
+    """Render one image of a class; returns a flat ``3 * side * side`` vector.
+
+    With ``adversarial=True`` the image keeps its class texture but the
+    colour palette is rotated toward another class, the contrast is reduced,
+    and heavy clutter is added — the distribution shift that makes networks
+    trained on the clean distribution misclassify.
+    """
+    if not 0 <= class_index < len(CLASS_NAMES):
+        raise ValueError(f"class_index must be in [0, {len(CLASS_NAMES)}), got {class_index}")
+    rng = ensure_rng(rng)
+    texture = _texture(class_index, side, rng)
+    color = _CLASS_COLORS[class_index].copy()
+    background = np.array([0.1, 0.1, 0.1])
+    contrast = 1.0
+    if adversarial:
+        # Shift nuisance factors (palette tint, background, contrast, clutter)
+        # while keeping the class-defining texture intact — the image is still
+        # unambiguously of its class, but far enough from the clean training
+        # distribution that the trained network frequently misclassifies it.
+        confusing_class = int((class_index + rng.integers(1, len(CLASS_NAMES))) % len(CLASS_NAMES))
+        mix = rng.uniform(0.15, 0.35)
+        color = (1 - mix) * color + mix * _CLASS_COLORS[confusing_class]
+        background = rng.uniform(0.1, 0.3, size=3)
+        contrast = rng.uniform(0.55, 0.85)
+        clutter = rng.uniform(0.0, 1.0, size=(side, side)) < 0.05
+        texture = np.where(clutter, 1.0 - texture, texture)
+    image = np.empty((NUM_CHANNELS, side, side))
+    for channel in range(NUM_CHANNELS):
+        image[channel] = background[channel] + contrast * texture * (
+            color[channel] - background[channel]
+        )
+    image += rng.normal(0.0, noise, size=image.shape)
+    return np.clip(image, 0.0, 1.0).ravel()
+
+
+@dataclass
+class MiniImageNet:
+    """Train/validation splits plus a pool of natural-adversarial images."""
+
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    validation_images: np.ndarray
+    validation_labels: np.ndarray
+    adversarial_images: np.ndarray
+    adversarial_labels: np.ndarray
+    side: int = DEFAULT_SIDE
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes (always 9, as in the paper's Task 1 subset)."""
+        return len(CLASS_NAMES)
+
+    @property
+    def input_size(self) -> int:
+        """Flat input dimension (3 × side × side)."""
+        return self.train_images.shape[1]
+
+
+def generate_mini_imagenet(
+    train_per_class: int = 40,
+    validation_per_class: int = 20,
+    adversarial_per_class: int = 25,
+    side: int = DEFAULT_SIDE,
+    seed: int | np.random.Generator | None = 0,
+) -> MiniImageNet:
+    """Generate the full Task 1 data: clean train/validation and an NAE pool."""
+    rng = ensure_rng(seed)
+
+    def build(per_class: int, adversarial: bool) -> tuple[np.ndarray, np.ndarray]:
+        images, labels = [], []
+        for class_index in range(len(CLASS_NAMES)):
+            for _ in range(per_class):
+                images.append(
+                    render_class_image(class_index, rng, side=side, adversarial=adversarial)
+                )
+                labels.append(class_index)
+        order = rng.permutation(len(images))
+        return np.array(images)[order], np.array(labels, dtype=int)[order]
+
+    train_images, train_labels = build(train_per_class, adversarial=False)
+    validation_images, validation_labels = build(validation_per_class, adversarial=False)
+    adversarial_images, adversarial_labels = build(adversarial_per_class, adversarial=True)
+    return MiniImageNet(
+        train_images,
+        train_labels,
+        validation_images,
+        validation_labels,
+        adversarial_images,
+        adversarial_labels,
+        side=side,
+    )

@@ -1,0 +1,29 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each task module exposes a ``setup_*`` function that builds (or loads from
+the model-zoo cache) the buggy network and datasets, plus ``run_*`` functions
+that perform the repairs and return plain records (lists of dictionaries)
+which the benchmark harness and the reporting helpers turn into the paper's
+tables:
+
+* :mod:`repro.experiments.task1_imagenet` — Task 1 (pointwise repair of a
+  convolutional image classifier); Table 1, Table 4, Figure 7.
+* :mod:`repro.experiments.task2_mnist_lines` — Task 2 (1-D polytope repair
+  of a digit classifier on fog lines); Table 2, Table 3.
+* :mod:`repro.experiments.task3_acas` — Task 3 (2-D polytope repair of the
+  collision-avoidance network); §7.3 results.
+* :mod:`repro.experiments.metrics` — efficacy / drawdown / generalization.
+* :mod:`repro.experiments.figures` — the data series behind Figures 3–5 and 7.
+* :mod:`repro.experiments.reporting` — plain-text table formatting.
+"""
+
+from repro.experiments.metrics import drawdown, efficacy, generalization
+from repro.experiments.reporting import format_seconds, format_table
+
+__all__ = [
+    "drawdown",
+    "efficacy",
+    "generalization",
+    "format_seconds",
+    "format_table",
+]

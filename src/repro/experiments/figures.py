@@ -1,0 +1,75 @@
+"""Data series behind the paper's figures.
+
+No plotting library is available offline, so each helper returns the numeric
+series a plot would show; the figure benchmarks print them and
+EXPERIMENTS.md records the qualitative comparison against the paper.
+
+* Figures 3–5 — the running example: input–output curves and linear-region
+  boundaries of N₁/N₂ and of the pointwise/polytope-repaired networks.
+* Figure 7 — per-layer drawdown and per-layer timing breakdown of Task 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.nn.network import Network
+from repro.polytope.segment import LineSegment
+from repro.syrenn.line import transform_line
+
+
+@dataclass
+class CurveData:
+    """An input–output curve plus the linear-region boundaries on the x axis."""
+
+    inputs: np.ndarray
+    outputs: np.ndarray
+    region_boundaries: np.ndarray
+
+
+def input_output_curve(
+    network: Network | DecoupledNetwork,
+    low: float = -1.0,
+    high: float = 2.0,
+    samples: int = 121,
+) -> CurveData:
+    """The data of Figures 3(c)/(d), 4(c)/(d), 5(c)/(d) for a 1-D network.
+
+    ``network`` must map a 1-dimensional input to a 1-dimensional output.
+    Region boundaries are computed with the SyReNN line decomposition on the
+    activation channel (for a DDNN) or the network itself.
+    """
+    if network.input_size != 1 or network.output_size != 1:
+        raise ValueError("input_output_curve expects a 1-input/1-output network")
+    inputs = np.linspace(low, high, samples)
+    outputs = np.array([float(network.compute(np.array([value]))[0]) for value in inputs])
+    pwl_network = network.activation if isinstance(network, DecoupledNetwork) else network
+    partition = transform_line(pwl_network, LineSegment(np.array([low]), np.array([high])))
+    boundaries = partition.breakpoint_inputs.ravel()
+    return CurveData(inputs=inputs, outputs=outputs, region_boundaries=boundaries)
+
+
+def per_layer_drawdown_series(records: list[dict]) -> dict[str, np.ndarray]:
+    """Figure 7(a): drawdown per repaired layer from Task 1 per-layer records.
+
+    ``records`` is the output of
+    :func:`repro.experiments.task1_imagenet.provable_repair_per_layer`.
+    Infeasible layers are reported as NaN drawdown.
+    """
+    layers = np.array([record["layer_index"] for record in records])
+    drawdowns = np.array(
+        [record["drawdown"] if record["feasible"] else np.nan for record in records]
+    )
+    return {"layer_index": layers, "drawdown": drawdowns}
+
+
+def per_layer_timing_series(records: list[dict]) -> dict[str, np.ndarray]:
+    """Figure 7(b): per-layer repair time split into Jacobian / LP / other."""
+    layers = np.array([record["layer_index"] for record in records])
+    jacobian = np.array([record["time_jacobian"] for record in records])
+    lp = np.array([record["time_lp"] for record in records])
+    other = np.array([record["time_other"] + record["time_linregions"] for record in records])
+    return {"layer_index": layers, "jacobian": jacobian, "lp": lp, "other": other}

@@ -1,0 +1,53 @@
+"""Efficacy, drawdown, and generalization metrics (paper §7, "Terms used").
+
+* *Efficacy* — accuracy of the repaired network on the repair set (Provable
+  Repair guarantees 100%; the baselines do not).
+* *Drawdown* — accuracy of the *buggy* network on the drawdown set minus the
+  accuracy of the *repaired* network on it.  Lower is better; negative
+  drawdown means the repair incidentally improved the drawdown set.
+* *Generalization* — accuracy of the *repaired* network on the
+  generalization set minus the accuracy of the *buggy* network on it.
+  Higher is better.
+
+All three helpers accept anything with an ``accuracy(inputs, labels)``
+method (both :class:`repro.nn.network.Network` and
+:class:`repro.core.ddnn.DecoupledNetwork` qualify).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def efficacy(repaired, repair_inputs: np.ndarray, repair_labels: np.ndarray) -> float:
+    """Accuracy of the repaired network on the repair set, as a percentage."""
+    return 100.0 * repaired.accuracy(repair_inputs, repair_labels)
+
+
+def drawdown(
+    buggy,
+    repaired,
+    drawdown_inputs: np.ndarray,
+    drawdown_labels: np.ndarray,
+) -> float:
+    """Percentage-point accuracy drop on the drawdown set (lower is better)."""
+    before = buggy.accuracy(drawdown_inputs, drawdown_labels)
+    after = repaired.accuracy(drawdown_inputs, drawdown_labels)
+    return 100.0 * (before - after)
+
+
+def generalization(
+    buggy,
+    repaired,
+    generalization_inputs: np.ndarray,
+    generalization_labels: np.ndarray,
+) -> float:
+    """Percentage-point accuracy gain on the generalization set (higher is better)."""
+    before = buggy.accuracy(generalization_inputs, generalization_labels)
+    after = repaired.accuracy(generalization_inputs, generalization_labels)
+    return 100.0 * (after - before)
+
+
+def accuracy_percent(network, inputs: np.ndarray, labels: np.ndarray) -> float:
+    """Plain accuracy as a percentage (convenience for reporting)."""
+    return 100.0 * network.accuracy(inputs, labels)

@@ -1,0 +1,54 @@
+"""Plain-text reporting helpers for the experiment tables.
+
+The benchmark harness prints each reproduced table in a layout close to the
+paper's (rows = repair-set sizes, columns = methods), using these helpers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration the way the paper does (e.g. ``1m39.0s``, ``18.4s``)."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    hours, remainder = divmod(seconds, 3600.0)
+    minutes, secs = divmod(remainder, 60.0)
+    if hours >= 1:
+        return f"{int(hours)}h{int(minutes)}m{secs:.1f}s"
+    if minutes >= 1:
+        return f"{int(minutes)}m{secs:.1f}s"
+    return f"{secs:.1f}s"
+
+
+def format_table(rows: Iterable[Mapping[str, object]], columns: list[str] | None = None) -> str:
+    """Render a list of record dictionaries as an aligned text table."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def print_table(title: str, rows: Iterable[Mapping[str, object]], columns: list[str] | None = None) -> None:
+    """Print a titled table (used by benchmarks and examples)."""
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))

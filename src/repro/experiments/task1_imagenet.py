@@ -1,0 +1,282 @@
+"""Task 1: pointwise repair of a convolutional image classifier.
+
+Mirrors §7.1 of the paper: the buggy network is a convolutional classifier
+(MiniSqueezeNet standing in for SqueezeNet), the repair set is drawn from a
+pool of "natural adversarial" images the network misclassifies, the drawdown
+set is the held-out clean validation set, and repairs are attempted at every
+convolutional layer.  The outputs of this module feed Table 1, Table 4, and
+Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.fine_tune import fine_tune
+from repro.baselines.modified_fine_tune import modified_fine_tune
+from repro.core.point_repair import point_repair
+from repro.core.specs import PointRepairSpec
+from repro.experiments.metrics import accuracy_percent, drawdown, efficacy
+from repro.models.zoo import ModelZoo
+from repro.nn.network import Network
+
+#: Margin used for the "classified as label y" constraints; a small positive
+#: margin keeps repaired classifications strict under floating-point noise.
+CLASSIFICATION_MARGIN = 1e-3
+
+
+@dataclass
+class Task1Setup:
+    """Everything Task 1 needs: the buggy network and the evaluation sets."""
+
+    network: Network
+    repair_pool_images: np.ndarray
+    repair_pool_labels: np.ndarray
+    drawdown_images: np.ndarray
+    drawdown_labels: np.ndarray
+    buggy_pool_accuracy: float
+    buggy_drawdown_accuracy: float
+
+    @property
+    def repairable_layers(self) -> list[int]:
+        """Indices of the convolutional (repairable) layers."""
+        return self.network.parameterized_layer_indices()
+
+    def repair_subset(self, num_points: int) -> tuple[np.ndarray, np.ndarray]:
+        """The first ``num_points`` images of the adversarial pool."""
+        count = min(num_points, self.repair_pool_images.shape[0])
+        return self.repair_pool_images[:count], self.repair_pool_labels[:count]
+
+
+def setup_task1(
+    zoo: ModelZoo | None = None,
+    *,
+    train_per_class: int = 40,
+    validation_per_class: int = 20,
+    adversarial_per_class: int = 25,
+    epochs: int = 25,
+    seed: int = 0,
+) -> Task1Setup:
+    """Generate the data, train (or load) the buggy network, and bundle it up."""
+    zoo = zoo if zoo is not None else ModelZoo()
+    dataset = zoo.mini_imagenet(
+        train_per_class=train_per_class,
+        validation_per_class=validation_per_class,
+        adversarial_per_class=adversarial_per_class,
+        seed=seed,
+    )
+    network = zoo.mini_squeezenet(dataset, epochs=epochs, seed=seed)
+    return Task1Setup(
+        network=network,
+        repair_pool_images=dataset.adversarial_images,
+        repair_pool_labels=dataset.adversarial_labels,
+        drawdown_images=dataset.validation_images,
+        drawdown_labels=dataset.validation_labels,
+        buggy_pool_accuracy=accuracy_percent(
+            network, dataset.adversarial_images, dataset.adversarial_labels
+        ),
+        buggy_drawdown_accuracy=accuracy_percent(
+            network, dataset.validation_images, dataset.validation_labels
+        ),
+    )
+
+
+def provable_repair_per_layer(
+    setup: Task1Setup,
+    num_points: int,
+    layer_indices: list[int] | None = None,
+    *,
+    norm: str = "linf",
+    margin: float = CLASSIFICATION_MARGIN,
+    backend: str | None = None,
+) -> list[dict]:
+    """Run Provable Repair at each requested layer; one record per layer.
+
+    Each record carries feasibility, efficacy (100 when feasible), drawdown,
+    and the timing breakdown — the raw material of Table 1/Table 4/Figure 7.
+    """
+    points, labels = setup.repair_subset(num_points)
+    spec = PointRepairSpec.from_labels(
+        points, labels, num_classes=setup.network.output_size, margin=margin
+    )
+    layer_indices = layer_indices if layer_indices is not None else setup.repairable_layers
+    records = []
+    for layer_index in layer_indices:
+        result = point_repair(setup.network, layer_index, spec, norm=norm, backend=backend)
+        record = {
+            "method": "PR",
+            "layer_index": layer_index,
+            "num_points": points.shape[0],
+            "feasible": result.feasible,
+            **{f"time_{key}": value for key, value in result.timing.as_dict().items()},
+        }
+        if result.feasible:
+            record["efficacy"] = efficacy(result.network, points, labels)
+            record["drawdown"] = drawdown(
+                setup.network, result.network, setup.drawdown_images, setup.drawdown_labels
+            )
+            record["delta_linf"] = result.delta_linf_norm
+        else:
+            record["efficacy"] = float("nan")
+            record["drawdown"] = float("nan")
+            record["delta_linf"] = float("nan")
+        records.append(record)
+    return records
+
+
+def best_drawdown_record(records: list[dict]) -> dict:
+    """The feasible per-layer record with the smallest drawdown (Table 1's "BD")."""
+    feasible = [record for record in records if record["feasible"]]
+    if not feasible:
+        raise ValueError("no layer admitted a feasible repair")
+    return min(feasible, key=lambda record: record["drawdown"])
+
+
+def fine_tune_baseline(
+    setup: Task1Setup,
+    num_points: int,
+    *,
+    learning_rate: float = 0.01,
+    batch_size: int = 2,
+    max_epochs: int = 200,
+    seed: int = 0,
+) -> dict:
+    """The FT baseline on the same repair set (one hyperparameter setting)."""
+    points, labels = setup.repair_subset(num_points)
+    result = fine_tune(
+        setup.network,
+        points,
+        labels,
+        learning_rate=learning_rate,
+        batch_size=batch_size,
+        max_epochs=max_epochs,
+        seed=seed,
+    )
+    return {
+        "method": "FT",
+        "num_points": points.shape[0],
+        "converged": result.converged,
+        "efficacy": 100.0 * result.final_accuracy,
+        "drawdown": drawdown(
+            setup.network, result.network, setup.drawdown_images, setup.drawdown_labels
+        ),
+        "time_total": result.seconds,
+    }
+
+
+def modified_fine_tune_baseline(
+    setup: Task1Setup,
+    num_points: int,
+    layer_indices: list[int] | None = None,
+    *,
+    learning_rate: float = 0.01,
+    batch_size: int = 2,
+    max_epochs: int = 60,
+    seed: int = 0,
+) -> dict:
+    """The MFT baseline: tune each layer separately, report the best drawdown."""
+    points, labels = setup.repair_subset(num_points)
+    layer_indices = layer_indices if layer_indices is not None else setup.repairable_layers
+    best: dict | None = None
+    for layer_index in layer_indices:
+        result = modified_fine_tune(
+            setup.network,
+            points,
+            labels,
+            layer_index,
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+            max_epochs=max_epochs,
+            seed=seed,
+        )
+        record = {
+            "method": "MFT",
+            "layer_index": layer_index,
+            "num_points": points.shape[0],
+            "efficacy": 100.0 * result.efficacy,
+            "drawdown": drawdown(
+                setup.network, result.network, setup.drawdown_images, setup.drawdown_labels
+            ),
+            "time_total": result.seconds,
+        }
+        if best is None or record["drawdown"] < best["drawdown"]:
+            best = record
+    assert best is not None
+    return best
+
+
+def table1(
+    setup: Task1Setup,
+    point_counts: list[int],
+    *,
+    norm: str = "linf",
+    ft_hyperparameters: tuple[dict, dict] | None = None,
+    mft_hyperparameters: tuple[dict, dict] | None = None,
+) -> list[dict]:
+    """Reproduce Table 1: one row per repair-set size.
+
+    Each row reports the best-drawdown Provable Repair layer, the two FT
+    hyperparameter settings, and the two MFT settings (best layer each).
+    """
+    if ft_hyperparameters is None:
+        ft_hyperparameters = (
+            {"learning_rate": 0.01, "batch_size": 2},
+            {"learning_rate": 0.01, "batch_size": 16},
+        )
+    if mft_hyperparameters is None:
+        mft_hyperparameters = (
+            {"learning_rate": 0.01, "batch_size": 2},
+            {"learning_rate": 0.01, "batch_size": 16},
+        )
+    rows = []
+    for num_points in point_counts:
+        pr_records = provable_repair_per_layer(setup, num_points, norm=norm)
+        pr_best = best_drawdown_record(pr_records)
+        ft_first = fine_tune_baseline(setup, num_points, **ft_hyperparameters[0])
+        ft_second = fine_tune_baseline(setup, num_points, **ft_hyperparameters[1])
+        mft_first = modified_fine_tune_baseline(setup, num_points, **mft_hyperparameters[0])
+        mft_second = modified_fine_tune_baseline(setup, num_points, **mft_hyperparameters[1])
+        rows.append(
+            {
+                "points": num_points,
+                "pr_drawdown": pr_best["drawdown"],
+                "pr_time": pr_best["time_total"],
+                "ft1_drawdown": ft_first["drawdown"],
+                "ft1_time": ft_first["time_total"],
+                "ft2_drawdown": ft_second["drawdown"],
+                "ft2_time": ft_second["time_total"],
+                "mft1_efficacy": mft_first["efficacy"],
+                "mft1_drawdown": mft_first["drawdown"],
+                "mft1_time": mft_first["time_total"],
+                "mft2_efficacy": mft_second["efficacy"],
+                "mft2_drawdown": mft_second["drawdown"],
+                "mft2_time": mft_second["time_total"],
+            }
+        )
+    return rows
+
+
+def table4(setup: Task1Setup, point_counts: list[int], *, norm: str = "linf") -> list[dict]:
+    """Reproduce the appendix Table 4: per-size layer feasibility and extremes."""
+    rows = []
+    for num_points in point_counts:
+        records = provable_repair_per_layer(setup, num_points, norm=norm)
+        feasible = [record for record in records if record["feasible"]]
+        drawdowns = [record["drawdown"] for record in feasible]
+        times = [record["time_total"] for record in feasible]
+        best = best_drawdown_record(records) if feasible else None
+        rows.append(
+            {
+                "points": num_points,
+                "feasible_layers": len(feasible),
+                "total_layers": len(records),
+                "best_drawdown": min(drawdowns) if drawdowns else float("nan"),
+                "worst_drawdown": max(drawdowns) if drawdowns else float("nan"),
+                "fastest_time": min(times) if times else float("nan"),
+                "slowest_time": max(times) if times else float("nan"),
+                "best_drawdown_time": best["time_total"] if best else float("nan"),
+            }
+        )
+    return rows

@@ -1,0 +1,50 @@
+"""LP solver backends.
+
+Two backends are provided:
+
+``"scipy"``
+    scipy's HiGHS solver (dual simplex / interior point).  This is the
+    default and is used for all the repair LPs in the experiments.
+``"simplex"``
+    A from-scratch dense two-phase simplex implementation.  It exists so the
+    package has no hard algorithmic dependency on scipy's solver, serves as a
+    cross-check in the test-suite, and is used in ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import LPError
+from repro.lp.backends.base import LPBackend
+from repro.lp.backends.scipy_backend import ScipyBackend
+from repro.lp.backends.simplex import SimplexBackend
+
+_BACKENDS: dict[str, type[LPBackend]] = {
+    "scipy": ScipyBackend,
+    "highs": ScipyBackend,
+    "simplex": SimplexBackend,
+}
+
+DEFAULT_BACKEND = "scipy"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend`."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str | None = None) -> LPBackend:
+    """Instantiate a backend by name (``None`` gives the default)."""
+    key = (name or DEFAULT_BACKEND).lower()
+    if key not in _BACKENDS:
+        raise LPError(f"unknown LP backend {name!r}; available: {available_backends()}")
+    return _BACKENDS[key]()
+
+
+__all__ = [
+    "LPBackend",
+    "ScipyBackend",
+    "SimplexBackend",
+    "available_backends",
+    "get_backend",
+    "DEFAULT_BACKEND",
+]

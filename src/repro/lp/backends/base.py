@@ -1,0 +1,33 @@
+"""Abstract interface implemented by every LP backend."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.lp.model import LPSolution
+
+
+class LPBackend(abc.ABC):
+    """Solves LPs given in the standard form produced by ``LPModel``."""
+
+    #: Human-readable backend name.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        bounds: np.ndarray,
+    ) -> LPSolution:
+        """Solve ``min c@x  s.t.  a_ub@x<=b_ub, a_eq@x==b_eq, bounds``.
+
+        ``bounds`` is an ``(n, 2)`` array of per-variable ``(lower, upper)``
+        pairs; entries may be ``±inf``.
+        """
+        raise NotImplementedError

@@ -1,0 +1,49 @@
+"""LP backend delegating to scipy's HiGHS solver."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.backends.base import LPBackend
+from repro.lp.model import LPSolution
+from repro.lp.status import LPStatus
+
+#: Mapping from ``scipy.optimize.linprog`` status codes to :class:`LPStatus`.
+_STATUS_MAP = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ERROR,       # iteration limit
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.ERROR,
+}
+
+
+class ScipyBackend(LPBackend):
+    """Solve LPs with ``scipy.optimize.linprog(method="highs")``."""
+
+    name = "scipy"
+
+    def __init__(self, method: str = "highs") -> None:
+        self.method = method
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds) -> LPSolution:
+        bounds_list = [(row[0], row[1]) for row in np.asarray(bounds, dtype=float)]
+        result = linprog(
+            c,
+            A_ub=a_ub if a_ub.size else None,
+            b_ub=b_ub if b_ub.size else None,
+            A_eq=a_eq if a_eq.size else None,
+            b_eq=b_eq if b_eq.size else None,
+            bounds=bounds_list,
+            method=self.method,
+        )
+        status = _STATUS_MAP.get(result.status, LPStatus.ERROR)
+        if status is LPStatus.OPTIMAL and result.x is not None:
+            return LPSolution(
+                status=status,
+                values=np.asarray(result.x, dtype=np.float64),
+                objective=float(result.fun),
+                message=str(result.message),
+            )
+        return LPSolution(status=status, message=str(result.message))

@@ -1,0 +1,251 @@
+"""LP modelling layer.
+
+:class:`LPModel` collects variables, linear constraints, bounds, and a linear
+objective, and hands a standard-form problem to one of the backends in
+:mod:`repro.lp.backends`.  The repair algorithms use it through the helpers
+in :mod:`repro.lp.norms`, which add the auxiliary variables needed for
+ℓ1/ℓ∞ norm minimization.
+
+Standard form passed to backends::
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                lb <= x <= ub        (entries may be ±inf)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import LPError
+from repro.lp.expression import LinearExpression
+from repro.lp.status import LPStatus
+
+
+@dataclass
+class LPSolution:
+    """Result of solving an :class:`LPModel`.
+
+    Attributes
+    ----------
+    status:
+        Outcome of the solve.
+    values:
+        Dense variable assignment (``None`` unless ``status.is_optimal``).
+    objective:
+        Objective value at ``values`` (``None`` unless optimal).
+    message:
+        Backend-specific diagnostic text.
+    """
+
+    status: LPStatus
+    values: np.ndarray | None = None
+    objective: float | None = None
+    message: str = ""
+
+    def value_of(self, indices) -> np.ndarray:
+        """Extract the assignment of a block of variables by index array."""
+        if self.values is None:
+            raise LPError("solution has no variable values (status: %s)" % self.status)
+        return self.values[np.asarray(indices, dtype=int)]
+
+
+@dataclass
+class _ConstraintBlock:
+    """A block of constraints ``matrix @ x[columns] (sense) rhs``."""
+
+    matrix: np.ndarray
+    rhs: np.ndarray
+    columns: np.ndarray
+    equality: bool = False
+
+
+@dataclass
+class LPModel:
+    """An LP under construction.
+
+    Variables are created with :meth:`add_variable` / :meth:`add_variables`
+    and identified by integer index.  Constraints may be added either one at
+    a time from :class:`LinearExpression` objects, or as dense blocks
+    (matrix form), which is how the repair algorithms add the
+    ``A_x (N(x) + J_x Δ) ≤ b_x`` rows.
+    """
+
+    _num_variables: int = 0
+    _names: list[str] = field(default_factory=list)
+    _lower: list[float] = field(default_factory=list)
+    _upper: list[float] = field(default_factory=list)
+    _objective: dict[int, float] = field(default_factory=dict)
+    _blocks: list[_ConstraintBlock] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Number of variables added so far."""
+        return self._num_variables
+
+    def add_variable(
+        self,
+        name: str | None = None,
+        lower: float = -np.inf,
+        upper: float = np.inf,
+    ) -> int:
+        """Add one variable and return its index."""
+        if lower > upper:
+            raise LPError(f"variable lower bound {lower} exceeds upper bound {upper}")
+        index = self._num_variables
+        self._names.append(name if name is not None else f"x{index}")
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._num_variables += 1
+        return index
+
+    def add_variables(
+        self,
+        count: int,
+        name: str | None = None,
+        lower: float = -np.inf,
+        upper: float = np.inf,
+    ) -> np.ndarray:
+        """Add ``count`` variables and return their indices as an array."""
+        if count < 0:
+            raise LPError("count must be non-negative")
+        base = name if name is not None else "x"
+        indices = [
+            self.add_variable(f"{base}[{offset}]", lower=lower, upper=upper)
+            for offset in range(count)
+        ]
+        return np.array(indices, dtype=int)
+
+    def variable_name(self, index: int) -> str:
+        """Name of variable ``index``."""
+        return self._names[index]
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def add_leq_block(self, matrix, rhs, columns=None) -> None:
+        """Add constraints ``matrix @ x[columns] <= rhs``.
+
+        ``columns`` defaults to all variables currently in the model, in
+        which case ``matrix`` must have ``num_variables`` columns.
+        """
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=np.float64))
+        if columns is None:
+            columns = np.arange(self._num_variables)
+        columns = np.asarray(columns, dtype=int)
+        self._check_block(matrix, rhs, columns)
+        self._blocks.append(_ConstraintBlock(matrix, rhs, columns, equality=False))
+
+    def add_eq_block(self, matrix, rhs, columns=None) -> None:
+        """Add constraints ``matrix @ x[columns] == rhs``."""
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=np.float64))
+        if columns is None:
+            columns = np.arange(self._num_variables)
+        columns = np.asarray(columns, dtype=int)
+        self._check_block(matrix, rhs, columns)
+        self._blocks.append(_ConstraintBlock(matrix, rhs, columns, equality=True))
+
+    def add_leq(self, expression: LinearExpression, rhs: float) -> None:
+        """Add a single constraint ``expression <= rhs``."""
+        row, columns = self._expression_row(expression)
+        self.add_leq_block(row[None, :], [rhs - expression.constant], columns)
+
+    def add_geq(self, expression: LinearExpression, rhs: float) -> None:
+        """Add a single constraint ``expression >= rhs``."""
+        self.add_leq(expression * -1.0, -float(rhs))
+
+    def add_eq(self, expression: LinearExpression, rhs: float) -> None:
+        """Add a single constraint ``expression == rhs``."""
+        row, columns = self._expression_row(expression)
+        self.add_eq_block(row[None, :], [rhs - expression.constant], columns)
+
+    def _expression_row(self, expression: LinearExpression):
+        coefficients = expression.coefficients
+        if not coefficients:
+            raise LPError("constraint expression has no variables")
+        columns = np.array(sorted(coefficients), dtype=int)
+        row = np.array([coefficients[index] for index in columns], dtype=np.float64)
+        return row, columns
+
+    def _check_block(self, matrix: np.ndarray, rhs: np.ndarray, columns: np.ndarray) -> None:
+        if matrix.ndim != 2:
+            raise LPError("constraint matrix must be 2-D")
+        if rhs.ndim != 1 or rhs.shape[0] != matrix.shape[0]:
+            raise LPError("constraint rhs length must match the number of rows")
+        if columns.ndim != 1 or columns.shape[0] != matrix.shape[1]:
+            raise LPError("columns length must match the number of matrix columns")
+        if columns.size and (columns.min() < 0 or columns.max() >= self._num_variables):
+            raise LPError("constraint references an unknown variable index")
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    def set_objective_coefficient(self, index: int, coefficient: float) -> None:
+        """Set the objective coefficient of variable ``index``."""
+        if not 0 <= index < self._num_variables:
+            raise LPError(f"unknown variable index {index}")
+        if coefficient == 0.0:
+            self._objective.pop(index, None)
+        else:
+            self._objective[index] = float(coefficient)
+
+    def add_objective_term(self, index: int, coefficient: float) -> None:
+        """Add ``coefficient`` to the objective coefficient of ``index``."""
+        current = self._objective.get(index, 0.0)
+        self.set_objective_coefficient(index, current + coefficient)
+
+    def set_objective(self, expression: LinearExpression) -> None:
+        """Replace the objective with the given linear expression."""
+        self._objective = {}
+        for index, coefficient in expression.coefficients.items():
+            self.set_objective_coefficient(index, coefficient)
+
+    # ------------------------------------------------------------------
+    # Standard form assembly & solving
+    # ------------------------------------------------------------------
+    def standard_form(self):
+        """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` dense arrays."""
+        n = self._num_variables
+        c = np.zeros(n)
+        for index, coefficient in self._objective.items():
+            c[index] = coefficient
+
+        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        for block in self._blocks:
+            dense = np.zeros((block.matrix.shape[0], n))
+            dense[:, block.columns] = block.matrix
+            if block.equality:
+                eq_rows.append(dense)
+                eq_rhs.append(block.rhs)
+            else:
+                ub_rows.append(dense)
+                ub_rhs.append(block.rhs)
+
+        a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
+        b_ub = np.concatenate(ub_rhs) if ub_rhs else np.zeros(0)
+        a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
+        b_eq = np.concatenate(eq_rhs) if eq_rhs else np.zeros(0)
+        bounds = np.column_stack([self._lower, self._upper]) if n else np.zeros((0, 2))
+        return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    @property
+    def num_constraints(self) -> int:
+        """Total number of constraint rows added so far."""
+        return sum(block.matrix.shape[0] for block in self._blocks)
+
+    def solve(self, backend: str | None = None) -> LPSolution:
+        """Solve the model with the named backend (default: ``"scipy"``)."""
+        from repro.lp.backends import get_backend
+
+        solver = get_backend(backend)
+        if self._num_variables == 0:
+            return LPSolution(LPStatus.OPTIMAL, np.zeros(0), 0.0, "empty model")
+        return solver.solve(*self.standard_form())

@@ -1,0 +1,77 @@
+"""Norm-minimization objectives for LPs.
+
+The repair LPs minimize either the ℓ1 or the ℓ∞ norm of the parameter delta
+``Δ``.  Both are encoded with auxiliary variables in the standard way
+(Granger et al., "Optimization with absolute values"):
+
+* ℓ∞: one auxiliary ``t ≥ 0`` with ``-t ≤ Δ_i ≤ t`` for every ``i``, and
+  objective ``t``.
+* ℓ1: one auxiliary ``t_i ≥ 0`` per delta with ``-t_i ≤ Δ_i ≤ t_i``, and
+  objective ``sum_i t_i``.
+
+Both helpers operate on a *block* of existing variables in an
+:class:`repro.lp.model.LPModel` and return the indices of the auxiliary
+variables so callers can inspect them if needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import LPError
+from repro.lp.model import LPModel
+
+#: Norm names accepted by the repair entry points.
+SUPPORTED_NORMS = ("l1", "linf", "l1+linf")
+
+
+def add_linf_objective(model: LPModel, delta_indices: np.ndarray, weight: float = 1.0) -> int:
+    """Add ``weight * ||Δ||_∞`` to the model objective; return the aux index."""
+    delta_indices = np.asarray(delta_indices, dtype=int)
+    if delta_indices.size == 0:
+        raise LPError("cannot minimize the norm of an empty variable block")
+    bound = model.add_variable("linf_bound", lower=0.0)
+    count = delta_indices.size
+    # Δ_i - t <= 0   and   -Δ_i - t <= 0
+    identity = np.eye(count)
+    minus_t = -np.ones((count, 1))
+    columns = np.concatenate([delta_indices, [bound]])
+    model.add_leq_block(np.hstack([identity, minus_t]), np.zeros(count), columns)
+    model.add_leq_block(np.hstack([-identity, minus_t]), np.zeros(count), columns)
+    model.add_objective_term(bound, weight)
+    return bound
+
+
+def add_l1_objective(model: LPModel, delta_indices: np.ndarray, weight: float = 1.0) -> np.ndarray:
+    """Add ``weight * ||Δ||_1`` to the model objective; return aux indices."""
+    delta_indices = np.asarray(delta_indices, dtype=int)
+    if delta_indices.size == 0:
+        raise LPError("cannot minimize the norm of an empty variable block")
+    count = delta_indices.size
+    aux = model.add_variables(count, "l1_abs", lower=0.0)
+    identity = np.eye(count)
+    columns = np.concatenate([delta_indices, aux])
+    # Δ_i - t_i <= 0   and   -Δ_i - t_i <= 0
+    model.add_leq_block(np.hstack([identity, -identity]), np.zeros(count), columns)
+    model.add_leq_block(np.hstack([-identity, -identity]), np.zeros(count), columns)
+    for index in aux:
+        model.add_objective_term(int(index), weight)
+    return aux
+
+
+def add_norm_objective(model: LPModel, delta_indices: np.ndarray, norm: str = "linf") -> None:
+    """Add the requested norm objective over ``delta_indices``.
+
+    ``norm`` may be ``"l1"``, ``"linf"``, or ``"l1+linf"`` (the combination
+    the original PRDNN implementation uses by default: the ℓ∞ norm keeps the
+    largest single change small while the ℓ1 term promotes sparsity).
+    """
+    if norm == "linf":
+        add_linf_objective(model, delta_indices)
+    elif norm == "l1":
+        add_l1_objective(model, delta_indices)
+    elif norm == "l1+linf":
+        add_linf_objective(model, delta_indices, weight=float(len(delta_indices)))
+        add_l1_objective(model, delta_indices, weight=1.0)
+    else:
+        raise LPError(f"unsupported norm {norm!r}; expected one of {SUPPORTED_NORMS}")

@@ -1,0 +1,33 @@
+"""Model builders for the paper's running example and the three tasks.
+
+* :mod:`repro.models.toy` — the 1-input/1-output ReLU networks of Figures
+  3–5 (N₁ and N₂) used by the quickstart example and many tests.
+* :mod:`repro.models.mnist_models` — the small fully-connected ReLU digit
+  classifier standing in for the paper's MNIST ReLU-3-100 network (Task 2).
+* :mod:`repro.models.squeezenet_mini` — MiniSqueezeNet, a small
+  convolutional network with fire-style squeeze/expand blocks standing in
+  for SqueezeNet (Task 1).
+* :mod:`repro.models.acas_models` — the fully-connected advisory network
+  standing in for ACAS Xu N₂,₉ (Task 3).
+* :mod:`repro.models.zoo` — trains the three task networks on the synthetic
+  datasets and caches the parameters on disk so repeated experiment runs do
+  not retrain.
+"""
+
+from repro.models.toy import paper_network_n1, paper_network_n2
+from repro.models.mnist_models import build_digit_network, train_digit_network
+from repro.models.squeezenet_mini import build_mini_squeezenet, train_mini_squeezenet
+from repro.models.acas_models import build_acas_network, train_acas_network
+from repro.models.zoo import ModelZoo
+
+__all__ = [
+    "paper_network_n1",
+    "paper_network_n2",
+    "build_digit_network",
+    "train_digit_network",
+    "build_mini_squeezenet",
+    "train_mini_squeezenet",
+    "build_acas_network",
+    "train_acas_network",
+    "ModelZoo",
+]

@@ -1,0 +1,65 @@
+"""The advisory network for Task 3 (the ACAS Xu N₂,₉ stand-in).
+
+The real N₂,₉ is a fully-connected ReLU network with six hidden layers.  The
+stand-in keeps that shape at a size the pure-Python 2-D SyReNN decomposition
+handles comfortably: six hidden layers of 16 units (the paper's uses 50).
+It is trained on the geometric collision-avoidance simulator of
+:mod:`repro.datasets.acas`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.acas import AcasDataset
+from repro.nn.activations import ReLULayer
+from repro.nn.linear import FullyConnectedLayer
+from repro.nn.network import Network
+from repro.nn.train import SGDTrainer, TrainingConfig
+from repro.utils.rng import ensure_rng
+
+#: Input dimension (ρ, θ, ψ, v_own, v_int) and number of advisories.
+ACAS_INPUTS = 5
+ACAS_OUTPUTS = 5
+
+
+def build_acas_network(
+    hidden_size: int = 16,
+    hidden_layers: int = 6,
+    seed: int | np.random.Generator | None = 0,
+) -> Network:
+    """An untrained fully-connected ReLU advisory network."""
+    rng = ensure_rng(seed)
+    layers = [FullyConnectedLayer.from_shape(ACAS_INPUTS, hidden_size, rng), ReLULayer(hidden_size)]
+    for _ in range(hidden_layers - 1):
+        layers.append(FullyConnectedLayer.from_shape(hidden_size, hidden_size, rng))
+        layers.append(ReLULayer(hidden_size))
+    layers.append(FullyConnectedLayer.from_shape(hidden_size, ACAS_OUTPUTS, rng))
+    return Network(layers)
+
+
+def train_acas_network(
+    dataset: AcasDataset,
+    hidden_size: int = 16,
+    hidden_layers: int = 6,
+    epochs: int = 40,
+    learning_rate: float = 0.05,
+    seed: int = 0,
+) -> Network:
+    """Train the advisory network on the simulator dataset."""
+    network = build_acas_network(hidden_size, hidden_layers, seed=seed)
+    config = TrainingConfig(
+        learning_rate=learning_rate,
+        momentum=0.9,
+        batch_size=64,
+        epochs=epochs,
+        seed=seed,
+    )
+    trainer = SGDTrainer(network, config)
+    trainer.train(dataset.train_states, dataset.train_labels)
+    return network
+
+
+def last_layer_index(network: Network) -> int:
+    """Index of the output layer (the repair layer used by Task 3)."""
+    return network.parameterized_layer_indices()[-1]

@@ -1,0 +1,69 @@
+"""The digit-classifier network for Task 2 (the MNIST ReLU-3-100 stand-in).
+
+The paper repairs a three-layer fully-connected ReLU network.  The stand-in
+has the same structure scaled to the synthetic digit images: three
+fully-connected layers separated by ReLUs.  Layer indices of interest (in
+the ``Network.layers`` list):
+
+* index 0 — first fully-connected layer (reads the image; large),
+* index 2 — second fully-connected layer ("Layer 2" in Table 2),
+* index 4 — final fully-connected layer ("Layer 3" in Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.digits import DigitDataset
+from repro.nn.activations import ReLULayer
+from repro.nn.linear import FullyConnectedLayer
+from repro.nn.network import Network
+from repro.nn.train import SGDTrainer, TrainingConfig
+from repro.utils.rng import ensure_rng
+
+#: Layer indices used by the Task 2 experiments.
+DIGIT_LAYER_2_INDEX = 2
+DIGIT_LAYER_3_INDEX = 4
+
+
+def build_digit_network(
+    input_size: int,
+    hidden_sizes: tuple[int, int] = (64, 32),
+    num_classes: int = 10,
+    seed: int | np.random.Generator | None = 0,
+) -> Network:
+    """An untrained three-layer fully-connected ReLU classifier."""
+    rng = ensure_rng(seed)
+    first_hidden, second_hidden = hidden_sizes
+    return Network(
+        [
+            FullyConnectedLayer.from_shape(input_size, first_hidden, rng),
+            ReLULayer(first_hidden),
+            FullyConnectedLayer.from_shape(first_hidden, second_hidden, rng),
+            ReLULayer(second_hidden),
+            FullyConnectedLayer.from_shape(second_hidden, num_classes, rng),
+        ]
+    )
+
+
+def train_digit_network(
+    dataset: DigitDataset,
+    hidden_sizes: tuple[int, int] = (64, 32),
+    epochs: int = 30,
+    learning_rate: float = 0.1,
+    seed: int = 0,
+) -> Network:
+    """Train the digit classifier on the synthetic digit dataset."""
+    network = build_digit_network(
+        dataset.input_size, hidden_sizes, dataset.num_classes, seed=seed
+    )
+    config = TrainingConfig(
+        learning_rate=learning_rate,
+        momentum=0.9,
+        batch_size=32,
+        epochs=epochs,
+        seed=seed,
+    )
+    trainer = SGDTrainer(network, config)
+    trainer.train(dataset.train_images, dataset.train_labels)
+    return network

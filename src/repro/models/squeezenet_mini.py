@@ -1,0 +1,107 @@
+"""MiniSqueezeNet — the convolutional network for Task 1.
+
+SqueezeNet's defining features are small convolutions organized into "fire"
+modules (a 1×1 *squeeze* convolution followed by an *expand* convolution), a
+convolutional classifier, and global average pooling instead of a dense
+classifier head.  MiniSqueezeNet keeps that structure at a scale a NumPy
+implementation can train and repair quickly on the synthetic 9-class image
+dataset: eight convolutional (repairable) layers totalling a few thousand
+parameters, ReLU activations, max
+pooling between stages, and a global-average-pool classifier.
+
+The repair experiments of Task 1 iterate over the convolutional layers the
+same way the paper iterates over SqueezeNet's ten feed-forward layers
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.imagenet_mini import DEFAULT_SIDE, MiniImageNet, NUM_CHANNELS
+from repro.nn.activations import ReLULayer
+from repro.nn.conv import Conv2DLayer
+from repro.nn.network import Network
+from repro.nn.pooling import GlobalAvgPoolLayer, MaxPool2DLayer
+from repro.nn.reshape import NormalizeLayer
+from repro.nn.train import SGDTrainer, TrainingConfig
+from repro.utils.rng import ensure_rng
+
+
+def build_mini_squeezenet(
+    side: int = DEFAULT_SIDE,
+    num_classes: int = 9,
+    seed: int | np.random.Generator | None = 0,
+) -> Network:
+    """An untrained MiniSqueezeNet for ``3 × side × side`` images."""
+    rng = ensure_rng(seed)
+    input_size = NUM_CHANNELS * side * side
+    layers = [
+        NormalizeLayer(np.full(input_size, 0.5), np.full(input_size, 0.5)),
+        # Stem convolution.
+        Conv2DLayer.from_shape(
+            NUM_CHANNELS, 12, 3, input_height=side, input_width=side, padding=1, rng=rng
+        ),
+        ReLULayer(12 * side * side),
+        MaxPool2DLayer(12, side, side, pool_size=2),
+    ]
+    half = side // 2
+    # Fire module 1: squeeze 12→8 (1×1), expand 8→16 (3×3).
+    layers += [
+        Conv2DLayer.from_shape(12, 8, 1, input_height=half, input_width=half, rng=rng),
+        ReLULayer(8 * half * half),
+        Conv2DLayer.from_shape(8, 16, 3, input_height=half, input_width=half, padding=1, rng=rng),
+        ReLULayer(16 * half * half),
+        MaxPool2DLayer(16, half, half, pool_size=2),
+    ]
+    quarter = half // 2
+    # Fire module 2: squeeze 16→8 (1×1), expand 8→16 (3×3).
+    layers += [
+        Conv2DLayer.from_shape(16, 8, 1, input_height=quarter, input_width=quarter, rng=rng),
+        ReLULayer(8 * quarter * quarter),
+        Conv2DLayer.from_shape(8, 16, 3, input_height=quarter, input_width=quarter, padding=1, rng=rng),
+        ReLULayer(16 * quarter * quarter),
+    ]
+    # Fire module 3: squeeze 16→12 (1×1), expand 12→24 (3×3).
+    layers += [
+        Conv2DLayer.from_shape(16, 12, 1, input_height=quarter, input_width=quarter, rng=rng),
+        ReLULayer(12 * quarter * quarter),
+        Conv2DLayer.from_shape(12, 24, 3, input_height=quarter, input_width=quarter, padding=1, rng=rng),
+        ReLULayer(24 * quarter * quarter),
+    ]
+    # Convolutional classifier + global average pooling (as in SqueezeNet).
+    # Unlike the original SqueezeNet we do not apply a ReLU to the classifier
+    # convolution: leaving the logits unclipped both trains better with
+    # cross-entropy and keeps the final layer fully repairable.
+    layers += [
+        Conv2DLayer.from_shape(
+            24, num_classes, 1, input_height=quarter, input_width=quarter, rng=rng
+        ),
+        GlobalAvgPoolLayer(num_classes, quarter, quarter),
+    ]
+    return Network(layers)
+
+
+def train_mini_squeezenet(
+    dataset: MiniImageNet,
+    epochs: int = 30,
+    learning_rate: float = 0.01,
+    seed: int = 0,
+) -> Network:
+    """Train MiniSqueezeNet on the synthetic 9-class image dataset."""
+    network = build_mini_squeezenet(side=dataset.side, num_classes=dataset.num_classes, seed=seed)
+    config = TrainingConfig(
+        learning_rate=learning_rate,
+        momentum=0.9,
+        batch_size=16,
+        epochs=epochs,
+        seed=seed,
+    )
+    trainer = SGDTrainer(network, config)
+    trainer.train(dataset.train_images, dataset.train_labels)
+    return network
+
+
+def repairable_layer_indices(network: Network) -> list[int]:
+    """The convolutional layer indices of a MiniSqueezeNet (repair targets)."""
+    return network.parameterized_layer_indices()

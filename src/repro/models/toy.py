@@ -1,0 +1,43 @@
+"""The paper's running example networks (Figures 3–5).
+
+``N₁`` is the 1-input, 1-output network with three ReLU hidden units whose
+behaviour on ``[-1, 2]`` is plotted in Figure 3(c):
+
+* ``N₁(0.5) = -0.5`` and ``N₁(1.5) = -1`` (§3.1);
+* its linear regions on ``[-1, 2]`` are ``[-1, 0]``, ``[0, 1]``, ``[1, 2]``
+  (Equation 1).
+
+``N₂`` is ``N₁`` with the ``x → h₃`` weight changed from 1 to 2, which both
+changes the green region's affine map and moves the region boundary to 0.5 —
+the "coupling" phenomenon the paper's Figure 3(d) illustrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLULayer
+from repro.nn.linear import FullyConnectedLayer
+from repro.nn.network import Network
+
+
+def paper_network_n1() -> Network:
+    """The network N₁ of Figure 3(a).
+
+    Hidden units: ``h₁ = ReLU(-x)``, ``h₂ = ReLU(x)``, ``h₃ = ReLU(x - 1)``;
+    output ``y = h₁ - h₂ + h₃``.
+    """
+    first = FullyConnectedLayer(
+        np.array([[-1.0], [1.0], [1.0]]), np.array([0.0, 0.0, -1.0])
+    )
+    second = FullyConnectedLayer(np.array([[1.0, -1.0, 1.0]]), np.array([0.0]))
+    return Network([first, ReLULayer(3), second])
+
+
+def paper_network_n2() -> Network:
+    """The network N₂ of Figure 3(b): N₁ with the x → h₃ weight set to 2."""
+    first = FullyConnectedLayer(
+        np.array([[-1.0], [1.0], [2.0]]), np.array([0.0, 0.0, -1.0])
+    )
+    second = FullyConnectedLayer(np.array([[1.0, -1.0, 1.0]]), np.array([0.0]))
+    return Network([first, ReLULayer(3), second])

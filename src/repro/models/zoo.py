@@ -1,0 +1,138 @@
+"""The model zoo: trains task networks once and caches their parameters.
+
+Experiments and benchmarks repeatedly need "the buggy network" for each
+task.  Training one takes seconds to a couple of minutes in pure NumPy, so
+the zoo caches trained parameters in ``.npz`` files keyed by a hash of the
+build/training configuration.  Caching lives under
+``~/.cache/repro-prdnn`` (override with the ``REPRO_CACHE_DIR`` environment
+variable); delete the directory to force retraining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.datasets.acas import AcasDataset, generate_acas_dataset
+from repro.datasets.digits import DigitDataset, generate_digit_dataset
+from repro.datasets.imagenet_mini import MiniImageNet, generate_mini_imagenet
+from repro.models.acas_models import build_acas_network, train_acas_network
+from repro.models.mnist_models import build_digit_network, train_digit_network
+from repro.models.squeezenet_mini import build_mini_squeezenet, train_mini_squeezenet
+from repro.nn.network import Network
+from repro.utils.serialization import config_digest, default_cache_dir
+
+
+@dataclass
+class ModelZoo:
+    """Builds (or loads from cache) the datasets and buggy networks per task."""
+
+    cache_dir: Path | None = None
+    use_cache: bool = True
+
+    def _cache_path(self, name: str, config: dict) -> Path:
+        base = self.cache_dir if self.cache_dir is not None else default_cache_dir()
+        return Path(base) / f"{name}-{config_digest(config)}.npz"
+
+    def _load_or_train(self, name: str, config: dict, build, train) -> Network:
+        path = self._cache_path(name, config)
+        if self.use_cache and path.exists():
+            network = build()
+            network.load_parameters(path)
+            return network
+        network = train()
+        if self.use_cache:
+            network.save_parameters(path)
+        return network
+
+    # ------------------------------------------------------------------
+    # Task 2: digits
+    # ------------------------------------------------------------------
+    def digit_dataset(self, train_per_class: int = 60, test_per_class: int = 40, seed: int = 0) -> DigitDataset:
+        """The synthetic digit dataset for Task 2."""
+        return generate_digit_dataset(train_per_class, test_per_class, seed=seed)
+
+    def digit_network(
+        self,
+        dataset: DigitDataset,
+        hidden_sizes: tuple[int, int] = (64, 32),
+        epochs: int = 30,
+        seed: int = 0,
+    ) -> Network:
+        """The trained digit classifier (cached)."""
+        config = {
+            "input": dataset.input_size,
+            "hidden": list(hidden_sizes),
+            "epochs": epochs,
+            "seed": seed,
+            "train_size": int(dataset.train_images.shape[0]),
+        }
+        return self._load_or_train(
+            "digit",
+            config,
+            build=lambda: build_digit_network(dataset.input_size, hidden_sizes, seed=seed),
+            train=lambda: train_digit_network(dataset, hidden_sizes, epochs=epochs, seed=seed),
+        )
+
+    # ------------------------------------------------------------------
+    # Task 1: mini ImageNet
+    # ------------------------------------------------------------------
+    def mini_imagenet(
+        self,
+        train_per_class: int = 40,
+        validation_per_class: int = 20,
+        adversarial_per_class: int = 25,
+        seed: int = 0,
+    ) -> MiniImageNet:
+        """The synthetic 9-class image dataset plus the NAE pool for Task 1."""
+        return generate_mini_imagenet(
+            train_per_class, validation_per_class, adversarial_per_class, seed=seed
+        )
+
+    def mini_squeezenet(self, dataset: MiniImageNet, epochs: int = 25, seed: int = 0) -> Network:
+        """The trained MiniSqueezeNet (cached)."""
+        config = {
+            "side": dataset.side,
+            "classes": dataset.num_classes,
+            "epochs": epochs,
+            "seed": seed,
+            "train_size": int(dataset.train_images.shape[0]),
+        }
+        return self._load_or_train(
+            "mini_squeezenet",
+            config,
+            build=lambda: build_mini_squeezenet(side=dataset.side, num_classes=dataset.num_classes, seed=seed),
+            train=lambda: train_mini_squeezenet(dataset, epochs=epochs, seed=seed),
+        )
+
+    # ------------------------------------------------------------------
+    # Task 3: ACAS Xu
+    # ------------------------------------------------------------------
+    def acas_dataset(self, train_size: int = 4000, test_size: int = 1500, seed: int = 0) -> AcasDataset:
+        """The simulator-labelled encounter dataset for Task 3."""
+        return generate_acas_dataset(train_size, test_size, seed=seed)
+
+    def acas_network(
+        self,
+        dataset: AcasDataset,
+        hidden_size: int = 16,
+        hidden_layers: int = 6,
+        epochs: int = 40,
+        seed: int = 0,
+    ) -> Network:
+        """The trained advisory network (cached)."""
+        config = {
+            "hidden_size": hidden_size,
+            "hidden_layers": hidden_layers,
+            "epochs": epochs,
+            "seed": seed,
+            "train_size": int(dataset.train_states.shape[0]),
+        }
+        return self._load_or_train(
+            "acas",
+            config,
+            build=lambda: build_acas_network(hidden_size, hidden_layers, seed=seed),
+            train=lambda: train_acas_network(
+                dataset, hidden_size, hidden_layers, epochs=epochs, seed=seed
+            ),
+        )

@@ -1,0 +1,248 @@
+"""2-D convolution layers (im2col based).
+
+The layer operates on flat vectors like every other layer in the framework;
+it carries its own ``(channels, height, width)`` metadata and reshapes
+internally.  The im2col/col2im index arrays are precomputed once per layer so
+forward evaluation, input backward, and parameter Jacobians all reuse them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import LayerError, ShapeError
+from repro.nn.layer import Layer, LayerKind
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    usable = size + 2 * padding - kernel
+    if usable < 0 or usable % stride != 0:
+        raise LayerError(
+            f"incompatible convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return usable // stride + 1
+
+
+def window_indices(
+    height: int,
+    width: int,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Row/column gather indices for im2col over a padded image.
+
+    Returns ``(rows, cols, out_h, out_w)`` where ``rows`` and ``cols`` have
+    shape ``(kernel_h * kernel_w, out_h * out_w)`` and index into the padded
+    image.
+    """
+    out_h = conv_output_size(height, kernel_h, stride, padding)
+    out_w = conv_output_size(width, kernel_w, stride, padding)
+    kernel_rows = np.repeat(np.arange(kernel_h), kernel_w)
+    kernel_cols = np.tile(np.arange(kernel_w), kernel_h)
+    start_rows = stride * np.repeat(np.arange(out_h), out_w)
+    start_cols = stride * np.tile(np.arange(out_w), out_h)
+    rows = kernel_rows[:, None] + start_rows[None, :]
+    cols = kernel_cols[:, None] + start_cols[None, :]
+    return rows, cols, out_h, out_w
+
+
+class Conv2DLayer(Layer):
+    """A 2-D convolution ``z = K * x + b``.
+
+    Parameters are flattened as the kernel tensor ``(out_channels,
+    in_channels, kernel_h, kernel_w)`` in row-major order followed by the
+    per-output-channel bias.  The layer input/output are flat vectors in
+    ``(channels, height, width)`` row-major layout.
+    """
+
+    kind = LayerKind.PARAMETERIZED
+
+    def __init__(
+        self,
+        kernels,
+        biases=None,
+        *,
+        input_height: int,
+        input_width: int,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> None:
+        self.kernels = np.asarray(kernels, dtype=np.float64)
+        if self.kernels.ndim != 4:
+            raise ShapeError("kernels must have shape (out_ch, in_ch, kh, kw)")
+        self.out_channels, self.in_channels, self.kernel_h, self.kernel_w = self.kernels.shape
+        if biases is None:
+            self.biases = np.zeros(self.out_channels)
+        else:
+            self.biases = np.asarray(biases, dtype=np.float64).ravel()
+            if self.biases.size != self.out_channels:
+                raise ShapeError("biases must have one entry per output channel")
+        self.input_height = int(input_height)
+        self.input_width = int(input_width)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        rows, cols, out_h, out_w = window_indices(
+            self.input_height,
+            self.input_width,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding,
+        )
+        self._rows = rows
+        self._cols = cols
+        self.output_height = out_h
+        self.output_width = out_w
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_shape(
+        cls,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        input_height: int,
+        input_width: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator,
+    ) -> "Conv2DLayer":
+        """He-style random initialization."""
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / max(1, fan_in))
+        kernels = rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size))
+        return cls(
+            kernels,
+            np.zeros(out_channels),
+            input_height=input_height,
+            input_width=input_width,
+            stride=stride,
+            padding=padding,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape info
+    # ------------------------------------------------------------------
+    @property
+    def input_size(self) -> int:
+        return self.in_channels * self.input_height * self.input_width
+
+    @property
+    def output_size(self) -> int:
+        return self.out_channels * self.output_height * self.output_width
+
+    @property
+    def num_positions(self) -> int:
+        """Number of spatial output positions."""
+        return self.output_height * self.output_width
+
+    # ------------------------------------------------------------------
+    # im2col helpers
+    # ------------------------------------------------------------------
+    def _pad(self, images: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return images
+        pad = self.padding
+        return np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+    def _im2col(self, values: np.ndarray) -> np.ndarray:
+        """Return im2col patches of shape ``(batch, in_ch * kh * kw, P)``."""
+        batch = values.shape[0]
+        images = values.reshape(batch, self.in_channels, self.input_height, self.input_width)
+        padded = self._pad(images)
+        patches = padded[:, :, self._rows, self._cols]
+        return patches.reshape(batch, self.in_channels * self.kernel_h * self.kernel_w, -1)
+
+    def _col2im(self, grad_patches: np.ndarray) -> np.ndarray:
+        """Scatter patch gradients back to flat input gradients."""
+        batch = grad_patches.shape[0]
+        padded_h = self.input_height + 2 * self.padding
+        padded_w = self.input_width + 2 * self.padding
+        grad_padded = np.zeros((batch, self.in_channels, padded_h, padded_w))
+        grad_patches = grad_patches.reshape(
+            batch, self.in_channels, self.kernel_h * self.kernel_w, -1
+        )
+        np.add.at(grad_padded, (slice(None), slice(None), self._rows, self._cols), grad_patches)
+        if self.padding:
+            pad = self.padding
+            grad_padded = grad_padded[:, :, pad:-pad, pad:-pad]
+        return grad_padded.reshape(batch, -1)
+
+    def _kernel_matrix(self) -> np.ndarray:
+        """The kernel tensor reshaped to ``(out_ch, in_ch * kh * kw)``."""
+        return self.kernels.reshape(self.out_channels, -1)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        if values.shape[1] != self.input_size:
+            raise ShapeError(
+                f"expected input of size {self.input_size}, got {values.shape[1]}"
+            )
+        patches = self._im2col(values)
+        response = np.einsum("oq,bqp->bop", self._kernel_matrix(), patches)
+        response += self.biases[None, :, None]
+        return response.reshape(values.shape[0], -1)
+
+    def backward_input(self, grad_output: np.ndarray, forward_input: np.ndarray) -> np.ndarray:
+        grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        grad_maps = grad_output.reshape(grad_output.shape[0], self.out_channels, -1)
+        grad_patches = np.einsum("oq,bop->bqp", self._kernel_matrix(), grad_maps)
+        return self._col2im(grad_patches)
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self.kernels.size + self.biases.size
+
+    def get_parameters(self) -> np.ndarray:
+        return np.concatenate([self.kernels.ravel(), self.biases])
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=np.float64).ravel()
+        if flat.size != self.num_parameters:
+            raise LayerError(f"expected {self.num_parameters} parameters, got {flat.size}")
+        split = self.kernels.size
+        self.kernels = flat[:split].reshape(self.kernels.shape).copy()
+        self.biases = flat[split:].copy()
+
+    def parameter_jacobian(self, downstream: np.ndarray, forward_input: np.ndarray) -> np.ndarray:
+        """See :meth:`Layer.parameter_jacobian`.
+
+        With ``Z[c, p] = Σ_q K[c, q] · cols[q, p] + b[c]`` and downstream map
+        ``A`` (reshaped to ``(m, out_ch, P)``) we get
+        ``∂(A z)/∂K[c, q] = Σ_p A[:, c, p] · cols[q, p]`` and
+        ``∂(A z)/∂b[c] = Σ_p A[:, c, p]``.
+        """
+        downstream = np.asarray(downstream, dtype=np.float64)
+        if downstream.shape[1] != self.output_size:
+            raise ShapeError(
+                f"downstream map has {downstream.shape[1]} columns, expected {self.output_size}"
+            )
+        u = np.asarray(forward_input, dtype=np.float64).reshape(1, -1)
+        cols = self._im2col(u)[0]
+        reshaped = downstream.reshape(downstream.shape[0], self.out_channels, -1)
+        kernel_block = np.einsum("mcp,qp->mcq", reshaped, cols)
+        kernel_block = kernel_block.reshape(downstream.shape[0], -1)
+        bias_block = reshaped.sum(axis=2)
+        return np.hstack([kernel_block, bias_block])
+
+    def backward_parameters(self, grad_output: np.ndarray, forward_input: np.ndarray) -> np.ndarray:
+        grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        forward_input = np.atleast_2d(np.asarray(forward_input, dtype=np.float64))
+        patches = self._im2col(forward_input)
+        grad_maps = grad_output.reshape(grad_output.shape[0], self.out_channels, -1)
+        grad_kernels = np.einsum("bop,bqp->oq", grad_maps, patches)
+        grad_biases = grad_maps.sum(axis=(0, 2))
+        return np.concatenate([grad_kernels.ravel(), grad_biases])

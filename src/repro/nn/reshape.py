@@ -1,0 +1,70 @@
+"""Fixed affine layers: flatten and input normalization.
+
+Because every layer in this framework already operates on flat vectors,
+``FlattenLayer`` is the identity on values; it exists so that architectures
+ported from channel/height/width descriptions keep their familiar structure
+and so layer indices line up with the original model descriptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layer import Layer, LayerKind
+from repro.utils.validation import check_vector
+
+
+class FlattenLayer(Layer):
+    """Identity on flat vectors; marks the conv→dense transition."""
+
+    kind = LayerKind.STATIC
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self._size = int(size)
+
+    @property
+    def input_size(self) -> int:
+        return self._size
+
+    @property
+    def output_size(self) -> int:
+        return self._size
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64)
+
+    def backward_input(self, grad_output: np.ndarray, forward_input: np.ndarray) -> np.ndarray:
+        return np.asarray(grad_output, dtype=np.float64)
+
+
+class NormalizeLayer(Layer):
+    """Fixed per-feature affine normalization ``(x - mean) / std``.
+
+    Used as the first layer of the image networks so raw pixel inputs can be
+    fed directly to the network (mirroring the normalization baked into the
+    original SqueezeNet/MNIST pipelines).
+    """
+
+    kind = LayerKind.STATIC
+
+    def __init__(self, means, stds) -> None:
+        self.means = check_vector(means, "means")
+        self.stds = check_vector(stds, "stds", size=self.means.size)
+        if np.any(self.stds <= 0):
+            raise ValueError("stds must be strictly positive")
+
+    @property
+    def input_size(self) -> int:
+        return self.means.size
+
+    @property
+    def output_size(self) -> int:
+        return self.means.size
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values, dtype=np.float64) - self.means) / self.stds
+
+    def backward_input(self, grad_output: np.ndarray, forward_input: np.ndarray) -> np.ndarray:
+        return np.asarray(grad_output, dtype=np.float64) / self.stds

@@ -1,0 +1,174 @@
+"""Planar convex polygons with per-vertex attributes and half-plane clipping.
+
+The 2-D SyReNN decomposition keeps, for every polygon of the current
+partition, its vertices both as points of the (2-D) input plane and as the
+corresponding intermediate values at the current network layer.  Splitting a
+polygon by the zero set of an affine function only requires the function's
+values at the vertices, and linear interpolation of *all* vertex attributes
+at the crossing points.  :class:`VertexPolygon` packages that bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+#: Vertices whose clip function magnitude is below this are treated as lying
+#: exactly on the clipping line.
+CLIP_TOLERANCE = 1e-9
+
+#: Polygons with fewer than three vertices or (relative) area below this are
+#: discarded by the splitting routines.
+DEGENERATE_AREA = 1e-12
+
+
+def polygon_area(points: np.ndarray) -> float:
+    """Unsigned area of a planar polygon given as an ordered vertex list."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ShapeError("polygon_area expects an (k, 2) array")
+    if points.shape[0] < 3:
+        return 0.0
+    x, y = points[:, 0], points[:, 1]
+    rolled_x, rolled_y = np.roll(x, -1), np.roll(y, -1)
+    return float(abs(np.dot(x, rolled_y) - np.dot(rolled_x, y)) / 2.0)
+
+
+def convex_hull(points: np.ndarray) -> np.ndarray:
+    """Counter-clockwise convex hull of a set of 2-D points (monotone chain)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ShapeError("convex_hull expects an (k, 2) array")
+    unique = np.unique(points, axis=0)
+    if unique.shape[0] <= 2:
+        return unique
+    ordered = unique[np.lexsort((unique[:, 1], unique[:, 0]))]
+
+    def half_hull(candidates):
+        hull: list[np.ndarray] = []
+        for point in candidates:
+            while len(hull) >= 2:
+                cross = np.cross(hull[-1] - hull[-2], point - hull[-2])
+                if cross <= 0:
+                    hull.pop()
+                else:
+                    break
+            hull.append(point)
+        return hull
+
+    lower = half_hull(ordered)
+    upper = half_hull(ordered[::-1])
+    return np.array(lower[:-1] + upper[:-1])
+
+
+def _interpolate(first: np.ndarray, second: np.ndarray, ratio: float) -> np.ndarray:
+    return first + ratio * (second - first)
+
+
+def clip_by_function(vertices: np.ndarray, function_values: np.ndarray, keep_positive: bool) -> np.ndarray:
+    """Clip an ordered polygon to one side of an affine function's zero set.
+
+    ``vertices`` is an ``(k, d)`` array of vertex attribute rows (the first
+    two columns need not be the plane coordinates — clipping only uses the
+    affine function values).  ``function_values`` gives the affine function
+    at each vertex.  Returns the ordered vertices of the sub-polygon where
+    the function is ``>= 0`` (``keep_positive``) or ``<= 0``.
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    values = np.asarray(function_values, dtype=np.float64)
+    if vertices.shape[0] != values.shape[0]:
+        raise ShapeError("one function value per vertex is required")
+    if not keep_positive:
+        values = -values
+
+    kept_rows: list[np.ndarray] = []
+    count = vertices.shape[0]
+    for index in range(count):
+        current, nxt = vertices[index], vertices[(index + 1) % count]
+        current_value, next_value = values[index], values[(index + 1) % count]
+        inside = current_value >= -CLIP_TOLERANCE
+        next_inside = next_value >= -CLIP_TOLERANCE
+        if inside:
+            kept_rows.append(current)
+        crosses = (current_value > CLIP_TOLERANCE and next_value < -CLIP_TOLERANCE) or (
+            current_value < -CLIP_TOLERANCE and next_value > CLIP_TOLERANCE
+        )
+        if crosses:
+            ratio = current_value / (current_value - next_value)
+            kept_rows.append(_interpolate(current, nxt, ratio))
+    if not kept_rows:
+        return np.zeros((0, vertices.shape[1]))
+    return np.array(kept_rows)
+
+
+def split_by_function(vertices: np.ndarray, function_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split an ordered polygon into its ``>= 0`` and ``<= 0`` parts."""
+    positive = clip_by_function(vertices, function_values, keep_positive=True)
+    negative = clip_by_function(vertices, function_values, keep_positive=False)
+    return positive, negative
+
+
+class VertexPolygon:
+    """An ordered convex polygon whose vertices carry attribute vectors.
+
+    Attributes are stored as an ``(k, 2 + d)`` array: the first two columns
+    are the polygon's own planar coordinates (used for area/degeneracy
+    checks) and the remaining ``d`` columns are arbitrary attributes (for
+    SyReNN: the input-space point followed by the current-layer values).
+    """
+
+    def __init__(self, plane_points: np.ndarray, attributes: np.ndarray) -> None:
+        plane_points = np.asarray(plane_points, dtype=np.float64)
+        attributes = np.asarray(attributes, dtype=np.float64)
+        if plane_points.ndim != 2 or plane_points.shape[1] != 2:
+            raise ShapeError("plane_points must be (k, 2)")
+        if attributes.ndim != 2 or attributes.shape[0] != plane_points.shape[0]:
+            raise ShapeError("attributes must have one row per vertex")
+        self.plane_points = plane_points
+        self.attributes = attributes
+
+    @property
+    def num_vertices(self) -> int:
+        return self.plane_points.shape[0]
+
+    @property
+    def area(self) -> float:
+        """Area in the polygon's own planar coordinates."""
+        return polygon_area(self.plane_points)
+
+    def is_degenerate(self, reference_area: float = 1.0) -> bool:
+        """True if the polygon is too small to represent a linear region."""
+        if self.num_vertices < 3:
+            return True
+        return self.area <= DEGENERATE_AREA * max(reference_area, 1.0)
+
+    def centroid_attributes(self) -> np.ndarray:
+        """Mean of the vertex attributes (an interior point for convex sets)."""
+        return self.attributes.mean(axis=0)
+
+    def centroid_plane_point(self) -> np.ndarray:
+        """Mean of the planar coordinates."""
+        return self.plane_points.mean(axis=0)
+
+    def split(self, function_values: np.ndarray) -> tuple["VertexPolygon | None", "VertexPolygon | None"]:
+        """Split by the zero set of an affine function given at the vertices."""
+        combined = np.hstack([self.plane_points, self.attributes])
+        positive, negative = split_by_function(combined, function_values)
+
+        def build(rows: np.ndarray) -> "VertexPolygon | None":
+            if rows.shape[0] < 3:
+                return None
+            polygon = VertexPolygon(rows[:, :2], rows[:, 2:])
+            if polygon.is_degenerate(self.area):
+                return None
+            return polygon
+
+        return build(positive), build(negative)
+
+    def replace_attributes(self, attributes: np.ndarray) -> "VertexPolygon":
+        """A copy of the polygon with new per-vertex attributes."""
+        return VertexPolygon(self.plane_points.copy(), np.asarray(attributes, dtype=np.float64))
+
+    def __repr__(self) -> str:
+        return f"VertexPolygon(vertices={self.num_vertices}, area={self.area:.4g})"

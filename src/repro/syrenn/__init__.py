@@ -1,0 +1,30 @@
+"""SyReNN substrate: exact linear-region decompositions of PWL networks.
+
+The polytope repair algorithm (Algorithm 2 of the paper) needs, for each
+specification polytope ``P``, the partition ``LinRegions(N, P)`` of ``P``
+into the linear regions of the piecewise-linear network ``N``.  The paper
+uses the SyReNN tool (Sotoudeh & Thakur, TACAS 2021) for one- and
+two-dimensional ``P``; this package re-implements that capability:
+
+* :func:`repro.syrenn.line.transform_line` — the ExactLine algorithm for 1-D
+  segments.
+* :func:`repro.syrenn.plane.transform_plane` — the polygon-splitting
+  algorithm for 2-D planes (restricted to convex planar polygons embedded in
+  the input space).
+
+Both return region objects that expose (a) the region's vertices in input
+space and (b) a representative interior point, which the repair algorithm
+uses as the activation point of each key point (Appendix B of the paper).
+"""
+
+from repro.syrenn.line import LinePartition, LineRegion, transform_line
+from repro.syrenn.plane import PlanePartition, PlaneRegion, transform_plane
+
+__all__ = [
+    "transform_line",
+    "LinePartition",
+    "LineRegion",
+    "transform_plane",
+    "PlanePartition",
+    "PlaneRegion",
+]

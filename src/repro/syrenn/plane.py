@@ -1,0 +1,198 @@
+"""2-D SyReNN: linear-region decomposition of a planar polygon.
+
+The input region is a convex planar polygon embedded in the network's input
+space (e.g. a 2-D slice of the ACAS Xu input space).  The algorithm keeps a
+set of convex polygons; each polygon's vertices carry both their input-space
+coordinates and the corresponding values at the current layer.  Affine layers
+update the values.  Each element-wise piecewise-linear activation splits
+every polygon by the zero set of ``value[k] - threshold`` for every
+coordinate ``k`` and every activation breakpoint; within a polygon the value
+is an affine function of the plane coordinates, so the zero set is a line and
+half-plane clipping with linear interpolation is exact.  After processing all
+layers the surviving polygons are exactly ``LinRegions(N, P)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NotPiecewiseLinearError, ShapeError
+from repro.nn.layer import LayerKind
+from repro.nn.network import Network
+from repro.polytope.polygon import VertexPolygon
+
+#: Coordinates whose absolute value stays below this on every vertex of a
+#: polygon are not split on (they are numerically on the boundary already).
+SPLIT_TOLERANCE = 1e-9
+
+
+@dataclass
+class PlaneRegion:
+    """One linear region of the network restricted to the input plane.
+
+    Attributes
+    ----------
+    input_vertices:
+        ``(k, n)`` array of the region's vertices in input space.
+    plane_vertices:
+        ``(k, 2)`` array of the same vertices in the plane's 2-D coordinate
+        system (used for plotting and area computations).
+    """
+
+    input_vertices: np.ndarray
+    plane_vertices: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return self.input_vertices.shape[0]
+
+    @property
+    def interior_point(self) -> np.ndarray:
+        """The centroid of the region's vertices (interior for convex sets)."""
+        return self.input_vertices.mean(axis=0)
+
+    @property
+    def area(self) -> float:
+        """Area in plane coordinates."""
+        from repro.polytope.polygon import polygon_area
+
+        return polygon_area(self.plane_vertices)
+
+
+@dataclass
+class PlanePartition:
+    """The full decomposition of an input plane polygon into linear regions."""
+
+    regions: list[PlaneRegion]
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    def num_key_points(self) -> int:
+        """Number of (vertex, region) key points generated for repair."""
+        return sum(region.num_vertices for region in self.regions)
+
+
+def _check_supported(network: Network) -> None:
+    for layer in network.layers:
+        if layer.kind is not LayerKind.ACTIVATION:
+            continue
+        if not layer.is_piecewise_linear:
+            raise NotPiecewiseLinearError(
+                f"{type(layer).__name__} is not piecewise linear; polytope repair "
+                "requires PWL activation functions (paper §6)"
+            )
+        try:
+            layer.piecewise_breakpoints()
+        except Exception as error:  # pragma: no cover - defensive
+            raise NotPiecewiseLinearError(
+                f"{type(layer).__name__} does not expose element-wise breakpoints; "
+                "the 2-D SyReNN substrate only supports element-wise PWL activations"
+            ) from error
+
+
+def transform_plane(network: Network, plane_vertices: np.ndarray) -> PlanePartition:
+    """Compute ``LinRegions(network, polygon)`` for a convex planar polygon.
+
+    ``plane_vertices`` is a ``(k, n)`` array of input-space points that are
+    the ordered vertices of a convex polygon lying inside a 2-D affine
+    subspace of the input space.
+    """
+    _check_supported(network)
+    plane_vertices = np.asarray(plane_vertices, dtype=np.float64)
+    if plane_vertices.ndim != 2 or plane_vertices.shape[0] < 3:
+        raise ShapeError("plane_vertices must be a (k >= 3, n) array of polygon vertices")
+    if plane_vertices.shape[1] != network.input_size:
+        raise ShapeError(
+            f"plane vertices have dimension {plane_vertices.shape[1]}, "
+            f"network expects {network.input_size}"
+        )
+
+    plane_coordinates = _plane_coordinates(plane_vertices)
+    # Attribute layout per vertex: [input point (n), current values (varies)].
+    initial_attributes = np.hstack([plane_vertices, plane_vertices])
+    polygons = [VertexPolygon(plane_coordinates, initial_attributes)]
+    input_dim = plane_vertices.shape[1]
+
+    for layer in network.layers:
+        if layer.kind is LayerKind.ACTIVATION:
+            breakpoints = layer.piecewise_breakpoints()
+            polygons = _split_all(polygons, input_dim, breakpoints)
+            polygons = [
+                _apply_to_values(polygon, input_dim, layer.forward) for polygon in polygons
+            ]
+        else:
+            polygons = [
+                _apply_to_values(polygon, input_dim, layer.forward) for polygon in polygons
+            ]
+
+    regions = [
+        PlaneRegion(
+            input_vertices=polygon.attributes[:, :input_dim].copy(),
+            plane_vertices=polygon.plane_points.copy(),
+        )
+        for polygon in polygons
+    ]
+    return PlanePartition(regions=regions)
+
+
+def _plane_coordinates(plane_vertices: np.ndarray) -> np.ndarray:
+    """Project the polygon vertices onto an orthonormal basis of their plane."""
+    origin = plane_vertices[0]
+    offsets = plane_vertices - origin
+    # Build an orthonormal basis of the (at most 2-D) span of the offsets.
+    _, singular_values, basis = np.linalg.svd(offsets, full_matrices=False)
+    rank = int(np.sum(singular_values > 1e-9))
+    if rank > 2:
+        raise ShapeError("plane vertices do not lie in a 2-D affine subspace")
+    basis = basis[:2] if basis.shape[0] >= 2 else np.vstack([basis, np.zeros_like(basis[:1])])
+    return offsets @ basis.T
+
+
+def _apply_to_values(polygon: VertexPolygon, input_dim: int, function) -> VertexPolygon:
+    """Apply ``function`` to the value part of a polygon's attributes."""
+    inputs_part = polygon.attributes[:, :input_dim]
+    values_part = polygon.attributes[:, input_dim:]
+    new_values = function(values_part)
+    return polygon.replace_attributes(np.hstack([inputs_part, new_values]))
+
+
+def _split_all(
+    polygons: list[VertexPolygon], input_dim: int, breakpoints: tuple[float, ...]
+) -> list[VertexPolygon]:
+    """Split every polygon on every coordinate/breakpoint combination."""
+    for threshold in breakpoints:
+        updated: list[VertexPolygon] = []
+        for polygon in polygons:
+            updated.extend(_split_one(polygon, input_dim, threshold))
+        polygons = updated
+    return polygons
+
+
+def _split_one(
+    polygon: VertexPolygon, input_dim: int, threshold: float
+) -> list[VertexPolygon]:
+    """Split one polygon on every value coordinate crossing ``threshold``."""
+    pending = [polygon]
+    num_values = polygon.attributes.shape[1] - input_dim
+    for coordinate in range(num_values):
+        next_pending: list[VertexPolygon] = []
+        for piece in pending:
+            function_values = piece.attributes[:, input_dim + coordinate] - threshold
+            if np.all(function_values >= -SPLIT_TOLERANCE) or np.all(
+                function_values <= SPLIT_TOLERANCE
+            ):
+                next_pending.append(piece)
+                continue
+            positive, negative = piece.split(function_values)
+            if positive is not None:
+                next_pending.append(positive)
+            if negative is not None:
+                next_pending.append(negative)
+            if positive is None and negative is None:
+                next_pending.append(piece)
+        pending = next_pending
+    return pending

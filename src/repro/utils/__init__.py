@@ -1,0 +1,20 @@
+"""Small shared utilities: RNG handling, validation, timing, serialization."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Stopwatch, TimeBudget
+from repro.utils.validation import (
+    check_matrix,
+    check_vector,
+    check_finite,
+    check_positive_int,
+)
+
+__all__ = [
+    "ensure_rng",
+    "Stopwatch",
+    "TimeBudget",
+    "check_matrix",
+    "check_vector",
+    "check_finite",
+    "check_positive_int",
+]

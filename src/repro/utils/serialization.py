@@ -1,0 +1,42 @@
+"""Serialization helpers for caching trained models between runs.
+
+Training the buggy networks used by the experiments takes a few seconds to a
+couple of minutes.  The model zoo (``repro.models.zoo``) caches trained
+parameters under a directory of ``.npz`` files keyed by a configuration hash
+so that repeated benchmark runs do not retrain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+
+def config_digest(config: dict) -> str:
+    """Return a stable short hash for a JSON-serializable configuration."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def default_cache_dir() -> Path:
+    """Directory used for cached artifacts (override with REPRO_CACHE_DIR)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-prdnn"
+
+
+def save_arrays(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Save a name→array mapping as a compressed ``.npz`` file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_arrays(path: Path) -> dict[str, np.ndarray]:
+    """Load a name→array mapping saved by :func:`save_arrays`."""
+    with np.load(path) as data:
+        return {key: np.array(data[key]) for key in data.files}

@@ -1,0 +1,82 @@
+"""Timing utilities for the repair algorithms and experiment harness.
+
+The paper reports a per-repair breakdown of where time is spent (computing
+LinRegions, computing Jacobians, solving the LP, and "other"); Figure 7(b)
+plots that split per repaired layer.  :class:`Stopwatch` accumulates named
+phases and :class:`TimeBudget` lets long sweeps (benchmarks) stop early.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """Accumulates wall-clock time per named phase.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch.phase("jacobian"):
+            ...
+        with watch.phase("lp"):
+            ...
+        watch.totals()   # {"jacobian": 0.12, "lp": 1.3}
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager that adds the elapsed time to phase ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to phase ``name``."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded for phase ``name`` (0.0 if never used)."""
+        return self._totals.get(name, 0.0)
+
+    def totals(self) -> dict[str, float]:
+        """A copy of the per-phase totals."""
+        return dict(self._totals)
+
+    def elapsed(self) -> float:
+        """Seconds since the stopwatch was created."""
+        return time.perf_counter() - self._started
+
+    def other(self) -> float:
+        """Elapsed time not attributed to any named phase."""
+        return max(0.0, self.elapsed() - sum(self._totals.values()))
+
+
+class TimeBudget:
+    """A soft deadline used by sweeps to stop launching new work."""
+
+    def __init__(self, seconds: float | None) -> None:
+        self._seconds = seconds
+        self._start = time.perf_counter()
+
+    def exhausted(self) -> bool:
+        """True once the budget has elapsed (never true for ``None``)."""
+        if self._seconds is None:
+            return False
+        return (time.perf_counter() - self._start) >= self._seconds
+
+    def remaining(self) -> float | None:
+        """Seconds remaining, or ``None`` for an unlimited budget."""
+        if self._seconds is None:
+            return None
+        return max(0.0, self._seconds - (time.perf_counter() - self._start))

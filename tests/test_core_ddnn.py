@@ -1,0 +1,265 @@
+"""Tests for Decoupled DNNs: the paper's Theorems 4.4, 4.5, and 4.6."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.jacobian import finite_difference_jacobian, specification_jacobians
+from repro.core.linearize import linearization_exact_at_center, linearize_activation
+from repro.core.specs import PointRepairSpec
+from repro.exceptions import ShapeError, UnsupportedLayerError
+from repro.nn.activations import ReLULayer, SigmoidLayer, TanhLayer
+from repro.nn.conv import Conv2DLayer
+from repro.nn.linear import FullyConnectedLayer
+from repro.nn.network import Network
+from repro.nn.pooling import MaxPool2DLayer
+from repro.polytope.hpolytope import HPolytope
+from repro.polytope.segment import LineSegment
+from repro.syrenn.line import transform_line
+from tests.conftest import make_random_relu_network, make_random_tanh_network
+
+
+def make_conv_network(rng) -> Network:
+    """A small conv/maxpool/dense network for DDNN tests."""
+    return Network(
+        [
+            Conv2DLayer.from_shape(1, 3, 3, input_height=6, input_width=6, padding=1, rng=rng),
+            ReLULayer(3 * 6 * 6),
+            MaxPool2DLayer(3, 6, 6, pool_size=2),
+            FullyConnectedLayer.from_shape(3 * 3 * 3, 4, rng),
+        ]
+    )
+
+
+class TestLinearize:
+    def test_linearize_activation_requires_activation_layer(self, rng):
+        with pytest.raises(TypeError):
+            linearize_activation(FullyConnectedLayer.from_shape(2, 2, rng), np.zeros(2))
+
+    @pytest.mark.parametrize("layer", [ReLULayer(4), TanhLayer(4), SigmoidLayer(4)])
+    def test_exact_at_center(self, layer, rng):
+        assert linearization_exact_at_center(layer, rng.normal(size=4))
+
+
+class TestTheorem44Equivalence:
+    """Theorem 4.4: the trivially decoupled DDNN equals the original network."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_relu_network_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        network = make_random_relu_network(rng, (4, 9, 7, 3))
+        ddnn = DecoupledNetwork.from_network(network)
+        batch = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(ddnn.compute(batch), network.compute(batch), atol=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_tanh_network_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        network = make_random_tanh_network(rng, (3, 7, 5, 2))
+        ddnn = DecoupledNetwork.from_network(network)
+        batch = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(ddnn.compute(batch), network.compute(batch), atol=1e-9)
+
+    def test_conv_maxpool_network_equivalence(self, rng):
+        network = make_conv_network(rng)
+        ddnn = DecoupledNetwork.from_network(network)
+        batch = rng.normal(size=(4, network.input_size))
+        np.testing.assert_allclose(ddnn.compute(batch), network.compute(batch), atol=1e-9)
+
+    def test_toy_network_equivalence(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        for value in np.linspace(-1.0, 2.0, 13):
+            assert ddnn.compute(np.array([value])) == pytest.approx(
+                toy_network.compute(np.array([value]))
+            )
+
+
+class TestDDNNInterface:
+    def test_channel_shape_validation(self, toy_network, rng):
+        other = make_random_relu_network(rng, (1, 4, 1))
+        with pytest.raises(ShapeError):
+            DecoupledNetwork(toy_network, other)
+
+    def test_depth_mismatch_rejected(self, toy_network, rng):
+        shallow = Network([FullyConnectedLayer.from_shape(1, 1, rng)])
+        with pytest.raises(ShapeError):
+            DecoupledNetwork(toy_network, shallow)
+
+    def test_activation_values_shape_checked(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        with pytest.raises(ShapeError):
+            ddnn.compute(np.array([0.5]), np.array([[0.5], [0.6]]))
+
+    def test_repairable_layer_indices(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        assert ddnn.repairable_layer_indices() == [0, 2]
+
+    def test_check_repairable_rejects_activation_layer(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        with pytest.raises(UnsupportedLayerError):
+            ddnn.parameter_jacobian(1, np.array([0.5]))
+        with pytest.raises(UnsupportedLayerError):
+            ddnn.parameter_jacobian(17, np.array([0.5]))
+
+    def test_negative_layer_index(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        output, jacobian = ddnn.parameter_jacobian(-1, np.array([0.5]))
+        assert jacobian.shape == (1, 4)
+
+    def test_apply_parameter_delta_validates_size(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        with pytest.raises(ShapeError):
+            ddnn.apply_parameter_delta(0, np.zeros(3))
+
+    def test_predict_and_accuracy(self, rng):
+        network = make_random_relu_network(rng, (4, 8, 3))
+        ddnn = DecoupledNetwork.from_network(network)
+        batch = rng.normal(size=(10, 4))
+        np.testing.assert_array_equal(ddnn.predict(batch), network.predict(batch))
+        assert ddnn.accuracy(batch, network.predict(batch)) == 1.0
+
+    def test_copy_is_independent(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        clone = ddnn.copy()
+        clone.apply_parameter_delta(0, np.ones(6))
+        np.testing.assert_allclose(
+            ddnn.compute(np.array([0.5])), toy_network.compute(np.array([0.5]))
+        )
+
+    def test_is_piecewise_linear(self, toy_network, random_tanh_network):
+        assert DecoupledNetwork.from_network(toy_network).is_piecewise_linear()
+        assert not DecoupledNetwork.from_network(random_tanh_network).is_piecewise_linear()
+
+
+class TestTheorem45Linearity:
+    """Theorem 4.5: the DDNN output is exactly affine in one value layer's parameters."""
+
+    def test_paper_jacobian_values(self, toy_network):
+        """The overview's Jacobians: N'(X1) row [·, -0.5, ·] and N'(X2) row [·, -1.5, 1.5, ·, ·, 1]."""
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        output, jacobian = ddnn.parameter_jacobian(0, np.array([0.5]))
+        assert output == pytest.approx(-0.5)
+        # Weight columns: x→h1, x→h2, x→h3; bias columns: b1, b2, b3.
+        np.testing.assert_allclose(jacobian, [[0.0, -0.5, 0.0, 0.0, -1.0, 0.0]])
+        output, jacobian = ddnn.parameter_jacobian(0, np.array([1.5]))
+        assert output == pytest.approx(-1.0)
+        np.testing.assert_allclose(jacobian, [[0.0, -1.5, 1.5, 0.0, -1.0, 1.0]])
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), layer_choice=st.integers(0, 2))
+    def test_exact_affinity_in_value_parameters(self, seed, layer_choice):
+        rng = np.random.default_rng(seed)
+        network = make_random_relu_network(rng, (3, 7, 6, 2))
+        ddnn = DecoupledNetwork.from_network(network)
+        layer_index = ddnn.repairable_layer_indices()[layer_choice]
+        point = rng.normal(size=3)
+        output, jacobian = ddnn.parameter_jacobian(layer_index, point)
+        # Apply a random (large!) delta: the affine prediction must be exact.
+        delta = rng.normal(size=jacobian.shape[1]) * 3.0
+        predicted = output + jacobian @ delta
+        modified = ddnn.copy()
+        modified.apply_parameter_delta(layer_index, delta)
+        np.testing.assert_allclose(modified.compute(point), predicted, atol=1e-7)
+
+    def test_affinity_for_tanh_network(self, rng):
+        network = make_random_tanh_network(rng, (3, 6, 4, 2))
+        ddnn = DecoupledNetwork.from_network(network)
+        point = rng.normal(size=3)
+        for layer_index in ddnn.repairable_layer_indices():
+            output, jacobian = ddnn.parameter_jacobian(layer_index, point)
+            delta = rng.normal(size=jacobian.shape[1])
+            modified = ddnn.copy()
+            modified.apply_parameter_delta(layer_index, delta)
+            np.testing.assert_allclose(
+                modified.compute(point), output + jacobian @ delta, atol=1e-7
+            )
+
+    def test_affinity_for_conv_maxpool_network(self, rng):
+        network = make_conv_network(rng)
+        ddnn = DecoupledNetwork.from_network(network)
+        point = rng.normal(size=network.input_size)
+        for layer_index in ddnn.repairable_layer_indices():
+            output, jacobian = ddnn.parameter_jacobian(layer_index, point)
+            delta = rng.normal(size=jacobian.shape[1])
+            modified = ddnn.copy()
+            modified.apply_parameter_delta(layer_index, delta)
+            np.testing.assert_allclose(
+                modified.compute(point), output + jacobian @ delta, atol=1e-7
+            )
+
+    def test_jacobian_matches_finite_differences(self, rng):
+        network = make_random_relu_network(rng, (3, 6, 4, 2))
+        ddnn = DecoupledNetwork.from_network(network)
+        point = rng.normal(size=3)
+        for layer_index in ddnn.repairable_layer_indices():
+            _, analytic = ddnn.parameter_jacobian(layer_index, point)
+            numeric = finite_difference_jacobian(ddnn, layer_index, point)
+            np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_specification_jacobians_shapes(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        spec = PointRepairSpec(
+            points=np.array([[0.5], [1.5]]),
+            constraints=[HPolytope.from_interval(1, 0, -1.0, 0.0)] * 2,
+        )
+        outputs, jacobians = specification_jacobians(ddnn, 0, spec)
+        assert outputs.shape == (2, 1)
+        assert jacobians.shape == (2, 1, 6)
+
+
+class TestTheorem46RegionsPreserved:
+    """Theorem 4.6: changing value weights does not move the linear regions."""
+
+    def test_value_edit_preserves_linear_regions(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        # A value-channel edit equivalent to the paper's N4 (x→h3 weight 1→2).
+        ddnn.apply_parameter_delta(0, np.array([0.0, 0.0, 1.0, 0.0, 0.0, 0.0]))
+        partition = transform_line(
+            ddnn.activation, LineSegment(np.array([-1.0]), np.array([2.0]))
+        )
+        np.testing.assert_allclose(
+            partition.breakpoint_inputs.ravel(), [-1.0, 0.0, 1.0, 2.0], atol=1e-9
+        )
+        # ... while the same edit to the *network itself* (N2) moves them.
+        from repro.models.toy import paper_network_n2
+
+        moved = transform_line(
+            paper_network_n2(), LineSegment(np.array([-1.0]), np.array([2.0]))
+        )
+        assert not np.allclose(
+            moved.breakpoint_inputs.ravel(), partition.breakpoint_inputs.ravel()
+        )
+
+    def test_ddnn_piecewise_structure_after_value_edit(self, rng):
+        """Within a region of the activation channel the edited DDNN stays affine.
+
+        Region vertices lie on activation-pattern boundaries, so (per Appendix
+        B) they are evaluated with the region's interior point pinned as the
+        activation point; interior points use their own pattern, which is the
+        same one.
+        """
+        network = make_random_relu_network(rng, (2, 8, 6, 2))
+        ddnn = DecoupledNetwork.from_network(network)
+        layer_index = ddnn.repairable_layer_indices()[1]
+        delta = rng.normal(size=ddnn.value.layers[layer_index].num_parameters)
+        ddnn.apply_parameter_delta(layer_index, delta)
+        segment = LineSegment(rng.normal(size=2) * 2, rng.normal(size=2) * 2)
+        partition = transform_line(ddnn.activation, segment)
+        for region in partition.regions:
+            left, right = region.vertices
+            interior = region.interior_point
+            midpoint = 0.5 * (left + right)
+            interpolated = 0.5 * (
+                ddnn.compute(left, interior) + ddnn.compute(right, interior)
+            )
+            np.testing.assert_allclose(ddnn.compute(midpoint, interior), interpolated, atol=1e-7)
+            # The midpoint's own activation pattern is the region's pattern,
+            # so pinning the activation point there must not change anything.
+            np.testing.assert_allclose(
+                ddnn.compute(midpoint), ddnn.compute(midpoint, interior), atol=1e-9
+            )

@@ -1,0 +1,130 @@
+"""Tests for the multi-layer repair and repair-layer-search extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.multi_layer import (
+    drawdown_score,
+    iterative_point_repair,
+    search_repair_layer,
+)
+from repro.core.specs import PointRepairSpec
+from repro.exceptions import RepairError
+from repro.polytope.hpolytope import HPolytope
+from tests.conftest import make_random_relu_network
+
+
+def equation2_spec() -> PointRepairSpec:
+    return PointRepairSpec(
+        points=np.array([[0.5], [1.5]]),
+        constraints=[
+            HPolytope.from_interval(1, 0, -1.0, -0.8),
+            HPolytope.from_interval(1, 0, -0.2, 0.0),
+        ],
+    )
+
+
+class TestIterativePointRepair:
+    def test_single_feasible_round_matches_point_repair(self, toy_network):
+        result = iterative_point_repair(toy_network, [0, 2], equation2_spec(), norm="l1")
+        assert result.satisfied
+        assert result.repaired_layers == [0]
+        assert len(result.per_layer_results) == 1
+        assert result.total_delta_l1_norm > 0.0
+        assert equation2_spec().is_satisfied_by(result.network)
+
+    def test_already_satisfied_specification_needs_no_repair(self, toy_network):
+        already_true = PointRepairSpec(
+            points=np.array([[0.5]]),
+            constraints=[HPolytope.from_interval(1, 0, -1.0, 0.0)],
+        )
+        result = iterative_point_repair(toy_network, [0, 2], already_true)
+        assert result.satisfied
+        assert result.repaired_layers == []
+        assert result.per_layer_results == []
+
+    def test_infeasible_layers_are_skipped(self, rng):
+        network = make_random_relu_network(rng, (2, 6, 4, 3))
+        # Two identical points demanding different labels: infeasible for any
+        # single layer (and indeed for the whole network).
+        point = rng.normal(size=2)
+        spec = PointRepairSpec.from_labels(
+            np.vstack([point, point]), [0, 1], num_classes=3, margin=1e-3
+        )
+        layers = network.parameterized_layer_indices()
+        result = iterative_point_repair(network, layers, spec)
+        assert not result.satisfied
+        assert result.repaired_layers == []
+        assert len(result.per_layer_results) == len(layers)
+
+    def test_empty_layer_list_rejected(self, toy_network):
+        with pytest.raises(RepairError):
+            iterative_point_repair(toy_network, [], equation2_spec())
+
+    def test_multiple_rounds_without_early_stop(self, toy_network):
+        result = iterative_point_repair(
+            toy_network, [0, 2], equation2_spec(), norm="l1", stop_when_satisfied=False
+        )
+        assert result.satisfied
+        # Both rounds ran; both were feasible (the second one repairs an
+        # already-satisfying network, so its minimal delta is zero).
+        assert len(result.per_layer_results) == 2
+        assert result.per_layer_results[1].delta_l1_norm == pytest.approx(0.0, abs=1e-7)
+
+    def test_accepts_ddnn_input(self, toy_network):
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        result = iterative_point_repair(ddnn, [0], equation2_spec())
+        assert result.satisfied
+
+
+class TestSearchRepairLayer:
+    def test_search_finds_feasible_layer_and_scores(self, toy_network):
+        spec = equation2_spec()
+        search = search_repair_layer(
+            toy_network, spec, score=lambda result: result.delta_l1_norm, norm="l1"
+        )
+        assert search.found
+        assert search.best_result is not None and search.best_result.feasible
+        assert set(search.scores) <= {0, 2}
+        assert search.best_score == pytest.approx(min(search.scores.values()))
+
+    def test_search_respects_candidate_order_and_stop_threshold(self, toy_network):
+        spec = equation2_spec()
+        search = search_repair_layer(
+            toy_network,
+            spec,
+            score=lambda result: 0.0,
+            candidate_layers=[2, 0],
+            stop_at_score=0.0,
+            norm="l1",
+        )
+        # The threshold is met by the first candidate, so only layer 2 is tried.
+        assert list(search.scores) == [2]
+
+    def test_search_reports_infeasible_layers(self, rng):
+        network = make_random_relu_network(rng, (2, 6, 4, 3))
+        point = rng.normal(size=2)
+        spec = PointRepairSpec.from_labels(
+            np.vstack([point, point]), [0, 1], num_classes=3, margin=1e-3
+        )
+        search = search_repair_layer(network, spec, score=lambda result: 0.0)
+        assert not search.found
+        assert np.isnan(search.best_score)
+        assert sorted(search.infeasible_layers) == network.parameterized_layer_indices()
+
+    def test_drawdown_score_function(self, rng):
+        network = make_random_relu_network(rng, (4, 10, 3))
+        held_out = rng.normal(size=(30, 4))
+        held_out_labels = network.predict(held_out)
+        points = rng.normal(size=(3, 4))
+        labels = rng.integers(0, 3, size=3)
+        spec = PointRepairSpec.from_labels(points, labels, num_classes=3, margin=1e-4)
+        score = drawdown_score(network, held_out, held_out_labels)
+        search = search_repair_layer(network, spec, score=score, norm="l1")
+        if search.found:
+            # Drawdown is measured against a set the buggy network got 100%
+            # right, so it can never be negative here.
+            assert search.best_score >= -1e-9

@@ -1,0 +1,204 @@
+"""Tests for the synthetic dataset generators (digits, corruptions, images, ACAS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.acas import (
+    ADVISORY_NAMES,
+    CLEAR_OF_CONFLICT,
+    STRONG_LEFT,
+    STRONG_RIGHT,
+    WEAK_LEFT,
+    AcasScenario,
+    denormalize_state,
+    generate_acas_dataset,
+    ground_truth_advisory,
+    normalize_state,
+    phi8_property,
+    sample_scenario,
+)
+from repro.datasets.corruptions import (
+    brightness_corrupt,
+    corrupt_batch,
+    fog_corrupt,
+    noise_corrupt,
+)
+from repro.datasets.digits import DEFAULT_SIDE, generate_digit_dataset, render_digit
+from repro.datasets.imagenet_mini import (
+    CLASS_NAMES,
+    generate_mini_imagenet,
+    render_class_image,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestDigits:
+    def test_render_digit_shape_and_range(self, rng):
+        image = render_digit(3, rng)
+        assert image.shape == (DEFAULT_SIDE * DEFAULT_SIDE,)
+        assert np.all(image >= 0.0) and np.all(image <= 1.0)
+
+    def test_render_digit_rejects_invalid_digit(self, rng):
+        with pytest.raises(ValueError):
+            render_digit(10, rng)
+
+    def test_different_digits_differ(self):
+        rng = ensure_rng(0)
+        one = render_digit(1, rng, noise=0.0)
+        eight = render_digit(8, rng, noise=0.0)
+        assert np.sum(eight > 0.5) > np.sum(one > 0.5)
+
+    def test_generate_digit_dataset_shapes_and_balance(self):
+        dataset = generate_digit_dataset(train_per_class=5, test_per_class=3, seed=0)
+        assert dataset.train_images.shape == (50, dataset.input_size)
+        assert dataset.test_images.shape == (30, dataset.input_size)
+        assert dataset.num_classes == 10
+        counts = np.bincount(dataset.train_labels, minlength=10)
+        assert np.all(counts == 5)
+
+    def test_generation_is_deterministic(self):
+        first = generate_digit_dataset(train_per_class=2, test_per_class=1, seed=7)
+        second = generate_digit_dataset(train_per_class=2, test_per_class=1, seed=7)
+        np.testing.assert_array_equal(first.train_images, second.train_images)
+        np.testing.assert_array_equal(first.train_labels, second.train_labels)
+
+
+class TestCorruptions:
+    def test_fog_stays_in_range_and_brightens(self, rng):
+        image = render_digit(5, rng)
+        foggy = fog_corrupt(image, severity=1.0, rng=rng)
+        assert foggy.shape == image.shape
+        assert np.all(foggy >= 0.0) and np.all(foggy <= 1.0)
+        assert foggy.mean() > image.mean()
+
+    def test_fog_severity_zero_is_identity(self, rng):
+        image = render_digit(2, rng)
+        np.testing.assert_allclose(fog_corrupt(image, severity=0.0, rng=rng), image)
+
+    def test_fog_requires_square_image(self, rng):
+        with pytest.raises(ValueError):
+            fog_corrupt(np.zeros(10), rng=rng)
+
+    def test_fog_severity_monotone_in_haze(self, rng):
+        image = np.zeros(DEFAULT_SIDE * DEFAULT_SIDE)
+        mild = fog_corrupt(image, severity=0.3, rng=ensure_rng(1))
+        heavy = fog_corrupt(image, severity=1.0, rng=ensure_rng(1))
+        assert heavy.mean() > mild.mean()
+
+    def test_brightness_and_noise(self, rng):
+        image = np.full(16, 0.5)
+        np.testing.assert_allclose(brightness_corrupt(image, 0.6), np.ones(16))
+        noisy = noise_corrupt(image, scale=0.1, rng=rng)
+        assert noisy.shape == image.shape
+        assert np.all(noisy >= 0.0) and np.all(noisy <= 1.0)
+
+    def test_corrupt_batch(self, rng):
+        batch = np.vstack([render_digit(digit, rng) for digit in range(3)])
+        corrupted = corrupt_batch(batch, fog_corrupt, severity=1.0, rng=rng)
+        assert corrupted.shape == batch.shape
+
+
+class TestMiniImageNet:
+    def test_render_class_image_shape(self, rng):
+        image = render_class_image(0, rng)
+        assert image.shape == (3 * 16 * 16,)
+        assert np.all(image >= 0.0) and np.all(image <= 1.0)
+
+    def test_invalid_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            render_class_image(len(CLASS_NAMES), rng)
+
+    def test_adversarial_images_differ_from_clean(self):
+        clean = render_class_image(2, ensure_rng(0), adversarial=False)
+        shifted = render_class_image(2, ensure_rng(0), adversarial=True)
+        assert not np.allclose(clean, shifted)
+
+    def test_generate_mini_imagenet_shapes(self):
+        dataset = generate_mini_imagenet(
+            train_per_class=3, validation_per_class=2, adversarial_per_class=2, seed=0
+        )
+        assert dataset.num_classes == 9
+        assert dataset.train_images.shape == (27, dataset.input_size)
+        assert dataset.validation_images.shape == (18, dataset.input_size)
+        assert dataset.adversarial_images.shape == (18, dataset.input_size)
+        assert set(np.unique(dataset.train_labels)) == set(range(9))
+
+
+class TestAcasSimulator:
+    def test_normalization_roundtrip(self, rng):
+        scenario = sample_scenario(rng)
+        raw = scenario.as_array()
+        np.testing.assert_allclose(denormalize_state(normalize_state(raw)), raw, atol=1e-9)
+
+    def test_normalized_range(self, rng):
+        states = np.array([sample_scenario(rng).as_array() for _ in range(100)])
+        normalized = normalize_state(states)
+        assert np.all(normalized >= -1.0 - 1e-9) and np.all(normalized <= 1.0 + 1e-9)
+
+    def test_far_away_is_clear_of_conflict(self):
+        scenario = AcasScenario(rho=55000.0, theta=0.5, psi=0.0, v_own=300.0, v_int=300.0)
+        assert ground_truth_advisory(scenario) == CLEAR_OF_CONFLICT
+
+    def test_diverging_intruder_is_clear_of_conflict(self):
+        # Intruder ahead but flying away faster than we approach.
+        scenario = AcasScenario(rho=5000.0, theta=0.0, psi=0.0, v_own=200.0, v_int=900.0)
+        assert ground_truth_advisory(scenario) == CLEAR_OF_CONFLICT
+
+    def test_close_encounter_turns_away_from_intruder(self):
+        left_intruder = AcasScenario(rho=5000.0, theta=0.5, psi=np.pi, v_own=400.0, v_int=400.0)
+        right_intruder = AcasScenario(rho=5000.0, theta=-0.5, psi=np.pi, v_own=400.0, v_int=400.0)
+        assert ground_truth_advisory(left_intruder) == STRONG_RIGHT
+        assert ground_truth_advisory(right_intruder) == STRONG_LEFT
+
+    def test_moderate_encounter_weak_turn(self):
+        scenario = AcasScenario(
+            rho=28000.0, theta=-1.0, psi=0.0, v_own=700.0, v_int=200.0
+        )
+        assert ground_truth_advisory(scenario) in (CLEAR_OF_CONFLICT, WEAK_LEFT)
+
+    def test_dataset_generation(self):
+        dataset = generate_acas_dataset(train_size=200, test_size=50, seed=0)
+        assert dataset.train_states.shape == (200, 5)
+        assert dataset.test_labels.shape == (50,)
+        assert dataset.num_classes == len(ADVISORY_NAMES) == 5
+        assert set(np.unique(dataset.train_labels)).issubset(set(range(5)))
+
+    def test_phi8_property_allows_only_safe_advisories_in_box(self, rng):
+        safety = phi8_property()
+        raw = rng.uniform(safety.raw_lower, safety.raw_upper, size=(500, 5))
+        advisories = np.array([ground_truth_advisory(AcasScenario(*row)) for row in raw])
+        assert set(np.unique(advisories)).issubset(set(safety.allowed))
+
+    def test_phi8_satisfied_on_masks(self):
+        safety = phi8_property()
+        predictions = np.array([CLEAR_OF_CONFLICT, WEAK_LEFT, STRONG_RIGHT])
+        np.testing.assert_array_equal(safety.satisfied_on(predictions), [True, True, False])
+
+    def test_random_slice_shape_and_containment(self, rng):
+        safety = phi8_property()
+        vertices = safety.random_slice(rng)
+        assert vertices.shape == (4, 5)
+        lower, upper = safety.normalized_lower, safety.normalized_upper
+        assert np.all(vertices >= lower - 1e-9) and np.all(vertices <= upper + 1e-9)
+
+    def test_random_slice_varies_exactly_two_dimensions(self, rng):
+        safety = phi8_property()
+        vertices = safety.random_slice(rng, varied_dims=(0, 3))
+        varying = np.array([len(np.unique(np.round(vertices[:, dim], 12))) > 1 for dim in range(5)])
+        np.testing.assert_array_equal(varying, [True, False, False, True, False])
+
+    def test_sample_states_inside_box(self, rng):
+        safety = phi8_property()
+        samples = safety.sample_states(100, rng)
+        raw = denormalize_state(samples)
+        assert np.all(raw >= safety.raw_lower - 1e-6)
+        assert np.all(raw <= safety.raw_upper + 1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_ground_truth_is_deterministic(self, seed):
+        scenario = sample_scenario(ensure_rng(seed))
+        assert ground_truth_advisory(scenario) == ground_truth_advisory(scenario)

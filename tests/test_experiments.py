@@ -1,0 +1,228 @@
+"""Tests for the experiment harness: metrics, reporting, figures, and small
+end-to-end runs of the three task drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.polytope_repair import polytope_repair
+from repro.core.specs import PolytopeRepairSpec
+from repro.experiments.figures import (
+    input_output_curve,
+    per_layer_drawdown_series,
+    per_layer_timing_series,
+)
+from repro.experiments.metrics import accuracy_percent, drawdown, efficacy, generalization
+from repro.experiments.reporting import format_seconds, format_table, print_table
+from repro.models.toy import paper_network_n1
+from repro.models.zoo import ModelZoo
+from repro.polytope.hpolytope import HPolytope
+from repro.polytope.segment import LineSegment
+
+
+class _ConstantClassifier:
+    """A stand-in 'network' that always predicts a fixed class."""
+
+    def __init__(self, prediction: int) -> None:
+        self.prediction = prediction
+
+    def accuracy(self, inputs, labels) -> float:
+        labels = np.asarray(labels, dtype=int)
+        return float(np.mean(labels == self.prediction))
+
+
+class TestMetrics:
+    def test_efficacy(self):
+        labels = np.array([0, 0, 1, 1])
+        assert efficacy(_ConstantClassifier(0), np.zeros((4, 2)), labels) == 50.0
+
+    def test_drawdown_sign_convention(self):
+        labels = np.zeros(10, dtype=int)
+        buggy, repaired = _ConstantClassifier(0), _ConstantClassifier(1)
+        # The buggy network is perfect, the repaired one always wrong: 100% drawdown.
+        assert drawdown(buggy, repaired, np.zeros((10, 2)), labels) == 100.0
+        # Negative drawdown (improvement) is possible.
+        assert drawdown(repaired, buggy, np.zeros((10, 2)), labels) == -100.0
+
+    def test_generalization_sign_convention(self):
+        labels = np.zeros(10, dtype=int)
+        buggy, repaired = _ConstantClassifier(1), _ConstantClassifier(0)
+        assert generalization(buggy, repaired, np.zeros((10, 2)), labels) == 100.0
+
+    def test_accuracy_percent(self):
+        labels = np.array([0, 1])
+        assert accuracy_percent(_ConstantClassifier(0), np.zeros((2, 2)), labels) == 50.0
+
+
+class TestReporting:
+    def test_format_seconds(self):
+        assert format_seconds(18.4) == "18.4s"
+        assert format_seconds(99.0) == "1m39.0s"
+        assert format_seconds(3600 + 22 * 60 + 18.7) == "1h22m18.7s"
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+    def test_format_table_alignment_and_values(self):
+        rows = [{"name": "PR", "drawdown": 3.61234}, {"name": "FT", "drawdown": 10.2}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "3.61" in text and "10.20" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_print_table_smoke(self, capsys):
+        print_table("demo", [{"x": 1}])
+        captured = capsys.readouterr()
+        assert "demo" in captured.out and "x" in captured.out
+
+
+class TestFigures:
+    def test_input_output_curve_matches_paper_figure3(self):
+        curve = input_output_curve(paper_network_n1())
+        assert curve.inputs.shape == curve.outputs.shape
+        np.testing.assert_allclose(curve.region_boundaries, [-1.0, 0.0, 1.0, 2.0], atol=1e-9)
+        # Figure 3(c): the output at x = 1.5 is -1.
+        index = int(np.argmin(np.abs(curve.inputs - 1.5)))
+        assert curve.outputs[index] == pytest.approx(-1.0, abs=1e-6)
+
+    def test_input_output_curve_for_repaired_ddnn(self):
+        spec = PolytopeRepairSpec()
+        spec.add_segment(
+            LineSegment(np.array([0.5]), np.array([1.5])),
+            HPolytope.from_interval(1, 0, -0.8, -0.4),
+        )
+        result = polytope_repair(paper_network_n1(), 0, spec, norm="l1")
+        curve = input_output_curve(result.network)
+        # Figure 5(d): the repaired curve keeps N1's linear regions.
+        np.testing.assert_allclose(curve.region_boundaries, [-1.0, 0.0, 1.0, 2.0], atol=1e-9)
+
+    def test_input_output_curve_requires_1d(self, random_relu_network):
+        with pytest.raises(ValueError):
+            input_output_curve(random_relu_network)
+
+    def test_per_layer_series(self):
+        records = [
+            {
+                "layer_index": 1,
+                "feasible": True,
+                "drawdown": 3.0,
+                "time_jacobian": 1.0,
+                "time_lp": 2.0,
+                "time_other": 0.5,
+                "time_linregions": 0.0,
+            },
+            {
+                "layer_index": 4,
+                "feasible": False,
+                "drawdown": float("nan"),
+                "time_jacobian": 0.5,
+                "time_lp": 0.1,
+                "time_other": 0.2,
+                "time_linregions": 0.0,
+            },
+        ]
+        drawdowns = per_layer_drawdown_series(records)
+        np.testing.assert_array_equal(drawdowns["layer_index"], [1, 4])
+        assert drawdowns["drawdown"][0] == 3.0 and np.isnan(drawdowns["drawdown"][1])
+        timings = per_layer_timing_series(records)
+        assert timings["jacobian"][0] == 1.0
+        assert timings["other"][1] == pytest.approx(0.2)
+
+
+@pytest.fixture(scope="module")
+def shared_zoo(tmp_path_factory):
+    """A zoo with a module-scoped cache so task setups are trained once."""
+    return ModelZoo(cache_dir=tmp_path_factory.mktemp("zoo-cache"))
+
+
+@pytest.mark.slow
+class TestTask1Integration:
+    def test_small_task1_run(self, shared_zoo):
+        from repro.experiments.task1_imagenet import (
+            best_drawdown_record,
+            modified_fine_tune_baseline,
+            provable_repair_per_layer,
+            setup_task1,
+        )
+
+        setup = setup_task1(
+            shared_zoo,
+            train_per_class=30,
+            validation_per_class=10,
+            adversarial_per_class=4,
+            epochs=30,
+            seed=0,
+        )
+        assert setup.buggy_drawdown_accuracy > 70.0
+        records = provable_repair_per_layer(
+            setup, 6, layer_indices=setup.repairable_layers[-2:], norm="l1"
+        )
+        assert len(records) == 2
+        feasible = [record for record in records if record["feasible"]]
+        if feasible:
+            best = best_drawdown_record(records)
+            assert best["efficacy"] == 100.0
+        mft = modified_fine_tune_baseline(
+            setup, 6, layer_indices=setup.repairable_layers[-1:], max_epochs=5
+        )
+        assert 0.0 <= mft["efficacy"] <= 100.0
+
+
+@pytest.mark.slow
+class TestTask2Integration:
+    def test_small_task2_run(self, shared_zoo):
+        from repro.experiments.task2_mnist_lines import (
+            provable_line_repair,
+            sampled_line_points,
+            setup_task2,
+        )
+
+        setup = setup_task2(
+            shared_zoo, max_lines=4, train_per_class=20, test_per_class=10, epochs=15, seed=0
+        )
+        assert setup.buggy_clean_accuracy > 80.0
+        record = provable_line_repair(setup, 2, setup.layer_3_index, norm="l1")
+        assert record["feasible"]
+        assert record["efficacy"] == 100.0
+        assert record["key_points"] >= 4
+        points, labels = sampled_line_points(setup, 2, record["key_points"])
+        assert points.shape[0] == record["key_points"] == labels.shape[0]
+
+
+@pytest.mark.slow
+class TestTask3Integration:
+    def test_small_task3_run(self, shared_zoo):
+        from repro.experiments.task3_acas import (
+            provable_slice_repair,
+            safe_advisory_constraint,
+            setup_task3,
+        )
+
+        constraint = safe_advisory_constraint(5, winner=0, allowed=(0, 1), margin=0.0)
+        assert constraint.num_constraints == 3
+
+        setup = setup_task3(
+            shared_zoo,
+            num_slices=2,
+            candidate_slices=40,
+            samples_per_slice=36,
+            evaluation_points=500,
+            train_size=1500,
+            epochs=20,
+            seed=0,
+        )
+        if not setup.repair_slices:
+            pytest.skip("the trained network happened to satisfy the property everywhere")
+        record = provable_slice_repair(setup, norm="l1")
+        assert record["key_points"] > 0
+        if record["feasible"]:
+            assert record["efficacy"] == 100.0
+            assert record["drawdown"] <= 5.0

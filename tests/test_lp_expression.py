@@ -1,0 +1,99 @@
+"""Tests for repro.lp.expression."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.lp.expression import LinearExpression
+
+
+class TestLinearExpressionBasics:
+    def test_variable_constructor(self):
+        expr = LinearExpression.variable(3, 2.0)
+        assert expr.coefficient(3) == 2.0
+        assert expr.coefficient(0) == 0.0
+        assert expr.constant == 0.0
+
+    def test_zero_coefficients_dropped(self):
+        expr = LinearExpression({0: 0.0, 1: 2.0})
+        assert 0 not in expr.coefficients
+        assert expr.coefficients == {1: 2.0}
+
+    def test_addition_of_expressions(self):
+        left = LinearExpression({0: 1.0, 1: 2.0}, constant=1.0)
+        right = LinearExpression({1: -2.0, 2: 3.0}, constant=2.0)
+        total = left + right
+        assert total.coefficient(0) == 1.0
+        assert total.coefficient(1) == 0.0
+        assert 1 not in total.coefficients  # cancelled term removed
+        assert total.coefficient(2) == 3.0
+        assert total.constant == 3.0
+
+    def test_addition_of_scalar(self):
+        expr = LinearExpression({0: 1.0}) + 5.0
+        assert expr.constant == 5.0
+        expr = 5.0 + LinearExpression({0: 1.0})
+        assert expr.constant == 5.0
+
+    def test_subtraction(self):
+        expr = LinearExpression({0: 2.0}, 1.0) - LinearExpression({0: 1.0}, 4.0)
+        assert expr.coefficient(0) == 1.0
+        assert expr.constant == -3.0
+        reversed_expr = 1.0 - LinearExpression({0: 1.0})
+        assert reversed_expr.coefficient(0) == -1.0
+        assert reversed_expr.constant == 1.0
+
+    def test_scalar_multiplication(self):
+        expr = LinearExpression({0: 2.0, 1: -1.0}, 3.0) * 2.0
+        assert expr.coefficient(0) == 4.0
+        assert expr.coefficient(1) == -2.0
+        assert expr.constant == 6.0
+
+    def test_evaluate(self):
+        expr = LinearExpression({0: 2.0, 2: -1.0}, constant=0.5)
+        value = expr.evaluate(np.array([1.0, 99.0, 3.0]))
+        assert value == 2.0 - 3.0 + 0.5
+
+    def test_repr_contains_terms(self):
+        text = repr(LinearExpression({1: 2.0}, constant=1.0))
+        assert "x1" in text
+
+
+class TestLinearExpressionProperties:
+    @given(
+        coefficients=st.dictionaries(
+            st.integers(0, 5), st.floats(-10, 10, allow_nan=False), max_size=5
+        ),
+        constant=st.floats(-10, 10, allow_nan=False),
+        scale=st.floats(-5, 5, allow_nan=False),
+    )
+    def test_scaling_matches_evaluation(self, coefficients, constant, scale):
+        expr = LinearExpression(coefficients, constant)
+        point = np.linspace(-1.0, 1.0, 6)
+        scaled = expr * scale
+        assert np.isclose(scaled.evaluate(point), scale * expr.evaluate(point), atol=1e-9)
+
+    @given(
+        first=st.dictionaries(st.integers(0, 5), st.floats(-10, 10, allow_nan=False), max_size=5),
+        second=st.dictionaries(st.integers(0, 5), st.floats(-10, 10, allow_nan=False), max_size=5),
+    )
+    def test_addition_matches_evaluation(self, first, second):
+        point = np.linspace(-2.0, 2.0, 6)
+        left, right = LinearExpression(first), LinearExpression(second)
+        assert np.isclose(
+            (left + right).evaluate(point),
+            left.evaluate(point) + right.evaluate(point),
+            atol=1e-9,
+        )
+
+    @given(
+        coefficients=st.dictionaries(
+            st.integers(0, 5), st.floats(-10, 10, allow_nan=False), max_size=5
+        )
+    )
+    def test_negation_roundtrip(self, coefficients):
+        expr = LinearExpression(coefficients, 1.0)
+        double_negated = -(-expr)
+        point = np.linspace(-1.0, 1.0, 6)
+        assert np.isclose(double_negated.evaluate(point), expr.evaluate(point), atol=1e-12)

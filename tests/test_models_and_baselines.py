@@ -1,0 +1,161 @@
+"""Tests for the model builders/zoo and the FT/MFT baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fine_tune import fine_tune
+from repro.baselines.modified_fine_tune import modified_fine_tune
+from repro.datasets.digits import generate_digit_dataset
+from repro.models.acas_models import build_acas_network, last_layer_index
+from repro.models.mnist_models import (
+    DIGIT_LAYER_2_INDEX,
+    DIGIT_LAYER_3_INDEX,
+    build_digit_network,
+    train_digit_network,
+)
+from repro.models.squeezenet_mini import build_mini_squeezenet
+from repro.models.toy import paper_network_n1, paper_network_n2
+from repro.models.zoo import ModelZoo
+from repro.nn.layer import LayerKind
+
+
+class TestToyNetworks:
+    def test_n1_values_match_paper(self):
+        network = paper_network_n1()
+        assert network.compute(np.array([0.5]))[0] == pytest.approx(-0.5)
+        assert network.compute(np.array([1.5]))[0] == pytest.approx(-1.0)
+        assert network.compute(np.array([0.0]))[0] == pytest.approx(0.0)
+
+    def test_n2_differs_only_in_green_region(self):
+        n1, n2 = paper_network_n1(), paper_network_n2()
+        # Left of x = 0.5 the two agree; right of it they differ (Figure 3).
+        assert n2.compute(np.array([0.25]))[0] == pytest.approx(
+            n1.compute(np.array([0.25]))[0]
+        )
+        assert n2.compute(np.array([1.5]))[0] != pytest.approx(n1.compute(np.array([1.5]))[0])
+
+
+class TestModelBuilders:
+    def test_digit_network_structure(self):
+        network = build_digit_network(144, hidden_sizes=(32, 16), seed=0)
+        assert network.input_size == 144
+        assert network.output_size == 10
+        assert network.parameterized_layer_indices() == [0, DIGIT_LAYER_2_INDEX, DIGIT_LAYER_3_INDEX]
+
+    def test_digit_network_trains_to_high_accuracy(self):
+        dataset = generate_digit_dataset(train_per_class=30, test_per_class=10, seed=0)
+        network = train_digit_network(dataset, hidden_sizes=(48, 24), epochs=25, seed=0)
+        assert network.accuracy(dataset.test_images, dataset.test_labels) > 0.85
+
+    def test_mini_squeezenet_structure(self):
+        network = build_mini_squeezenet(side=16, num_classes=9, seed=0)
+        assert network.input_size == 3 * 16 * 16
+        assert network.output_size == 9
+        assert len(network.parameterized_layer_indices()) == 8
+        # Forward pass works on a batch.
+        assert network.compute(np.zeros((2, network.input_size))).shape == (2, 9)
+
+    def test_acas_network_structure(self):
+        network = build_acas_network(hidden_size=8, hidden_layers=3, seed=0)
+        assert network.input_size == 5
+        assert network.output_size == 5
+        assert last_layer_index(network) == len(network.layers) - 1
+        hidden_linear = [
+            layer
+            for layer in network.layers
+            if layer.kind is LayerKind.PARAMETERIZED
+        ]
+        assert len(hidden_linear) == 4  # 3 hidden + output
+
+
+class TestModelZoo:
+    def test_digit_network_is_cached(self, tmp_path):
+        zoo = ModelZoo(cache_dir=tmp_path)
+        dataset = zoo.digit_dataset(train_per_class=5, test_per_class=2, seed=0)
+        first = zoo.digit_network(dataset, hidden_sizes=(16, 8), epochs=2, seed=0)
+        cache_files = list(tmp_path.glob("digit-*.npz"))
+        assert len(cache_files) == 1
+        second = zoo.digit_network(dataset, hidden_sizes=(16, 8), epochs=2, seed=0)
+        np.testing.assert_allclose(
+            first.layers[0].get_parameters(), second.layers[0].get_parameters()
+        )
+
+    def test_different_configs_get_different_cache_entries(self, tmp_path):
+        zoo = ModelZoo(cache_dir=tmp_path)
+        dataset = zoo.digit_dataset(train_per_class=5, test_per_class=2, seed=0)
+        zoo.digit_network(dataset, hidden_sizes=(16, 8), epochs=1, seed=0)
+        zoo.digit_network(dataset, hidden_sizes=(16, 8), epochs=2, seed=0)
+        assert len(list(tmp_path.glob("digit-*.npz"))) == 2
+
+    def test_cache_can_be_disabled(self, tmp_path):
+        zoo = ModelZoo(cache_dir=tmp_path, use_cache=False)
+        dataset = zoo.digit_dataset(train_per_class=3, test_per_class=2, seed=0)
+        zoo.digit_network(dataset, hidden_sizes=(8, 8), epochs=1, seed=0)
+        assert not list(tmp_path.glob("*.npz"))
+
+
+class TestFineTuneBaseline:
+    def test_fine_tune_fixes_repair_points(self, rng):
+        dataset = generate_digit_dataset(train_per_class=15, test_per_class=5, seed=1)
+        network = train_digit_network(dataset, hidden_sizes=(32, 16), epochs=10, seed=1)
+        # Pick a few test points and demand (their true) labels.
+        points, labels = dataset.test_images[:8], dataset.test_labels[:8]
+        result = fine_tune(network, points, labels, learning_rate=0.05, max_epochs=200, seed=0)
+        assert result.converged
+        assert result.network.accuracy(points, labels) == 1.0
+        assert result.epochs_run <= 200
+
+    def test_fine_tune_does_not_touch_original(self, rng):
+        dataset = generate_digit_dataset(train_per_class=5, test_per_class=2, seed=2)
+        network = build_digit_network(dataset.input_size, (16, 8), seed=2)
+        before = network.layers[0].get_parameters().copy()
+        fine_tune(network, dataset.test_images[:4], dataset.test_labels[:4], max_epochs=3)
+        np.testing.assert_array_equal(network.layers[0].get_parameters(), before)
+
+    def test_fine_tune_reports_non_convergence(self, rng):
+        # Contradictory labels for the same input can never reach 100%.
+        inputs = np.vstack([np.ones((1, 4)), np.ones((1, 4))])
+        labels = np.array([0, 1])
+        from tests.conftest import make_random_relu_network
+
+        network = make_random_relu_network(rng, (4, 8, 2))
+        result = fine_tune(network, inputs, labels, max_epochs=5)
+        assert not result.converged
+        assert result.final_accuracy <= 0.5
+
+
+class TestModifiedFineTuneBaseline:
+    def test_mft_only_changes_selected_layer(self, rng):
+        dataset = generate_digit_dataset(train_per_class=10, test_per_class=5, seed=3)
+        network = train_digit_network(dataset, hidden_sizes=(32, 16), epochs=5, seed=3)
+        result = modified_fine_tune(
+            network,
+            dataset.test_images[:12],
+            dataset.test_labels[:12],
+            DIGIT_LAYER_3_INDEX,
+            max_epochs=10,
+            seed=0,
+        )
+        for index in network.parameterized_layer_indices():
+            original = network.layers[index].get_parameters()
+            tuned = result.network.layers[index].get_parameters()
+            if index == DIGIT_LAYER_3_INDEX:
+                continue
+            np.testing.assert_array_equal(original, tuned)
+
+    def test_mft_efficacy_between_zero_and_one(self, rng):
+        dataset = generate_digit_dataset(train_per_class=8, test_per_class=4, seed=4)
+        network = train_digit_network(dataset, hidden_sizes=(16, 8), epochs=5, seed=4)
+        result = modified_fine_tune(
+            network,
+            dataset.test_images[:8],
+            dataset.test_labels[:8],
+            DIGIT_LAYER_2_INDEX,
+            max_epochs=8,
+            seed=0,
+        )
+        assert 0.0 <= result.efficacy <= 1.0
+        assert result.epochs_run <= 8
+        assert result.seconds > 0

@@ -1,0 +1,190 @@
+"""Tests for the SyReNN substrate (1-D and 2-D linear-region decomposition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NotPiecewiseLinearError, ShapeError
+from repro.nn.activations import HardTanhLayer, ReLULayer
+from repro.nn.linear import FullyConnectedLayer
+from repro.nn.network import Network
+from repro.polytope.segment import LineSegment
+from repro.syrenn.line import transform_line
+from repro.syrenn.plane import transform_plane
+from tests.conftest import make_random_relu_network, make_random_tanh_network
+
+
+class TestTransformLine:
+    def test_toy_network_regions_match_paper(self, toy_network):
+        """Equation 1 of the paper: LinRegions(N1, [-1, 2]) = {[-1,0], [0,1], [1,2]}."""
+        partition = transform_line(
+            toy_network, LineSegment(np.array([-1.0]), np.array([2.0]))
+        )
+        inputs = partition.breakpoint_inputs.ravel()
+        np.testing.assert_allclose(inputs, [-1.0, 0.0, 1.0, 2.0], atol=1e-9)
+        assert partition.num_regions == 3
+        assert partition.num_key_points() == 6
+
+    def test_modified_network_regions_move(self, toy_network_n2):
+        """Figure 3(d): N2's middle boundary moves from 1 to 0.5."""
+        partition = transform_line(
+            toy_network_n2, LineSegment(np.array([-1.0]), np.array([2.0]))
+        )
+        inputs = partition.breakpoint_inputs.ravel()
+        np.testing.assert_allclose(inputs, [-1.0, 0.0, 0.5, 2.0], atol=1e-9)
+
+    def test_affine_segment_has_single_region(self, toy_network):
+        partition = transform_line(
+            toy_network, LineSegment(np.array([0.2]), np.array([0.8]))
+        )
+        assert partition.num_regions == 1
+
+    def test_network_is_affine_within_each_region(self, rng):
+        network = make_random_relu_network(rng, (3, 10, 8, 2))
+        segment = LineSegment(rng.normal(size=3), rng.normal(size=3))
+        partition = transform_line(network, segment)
+        for region in partition.regions:
+            left, right = region.vertices
+            midpoint = 0.5 * (left + right)
+            interpolated = 0.5 * (network.compute(left) + network.compute(right))
+            np.testing.assert_allclose(network.compute(midpoint), interpolated, atol=1e-7)
+
+    def test_breakpoints_are_region_boundaries(self, rng):
+        network = make_random_relu_network(rng, (2, 12, 2))
+        segment = LineSegment(np.array([-2.0, -2.0]), np.array([2.0, 2.0]))
+        partition = transform_line(network, segment)
+        # At every interior breakpoint, some hidden unit's pre-activation is 0.
+        hidden_layer = network.layers[0]
+        for ratio in partition.ratios[1:-1]:
+            point = segment.point_at(float(ratio))
+            preactivations = hidden_layer.forward(point[None, :])[0]
+            assert np.min(np.abs(preactivations)) < 1e-6
+
+    def test_hardtanh_breakpoints_found(self, rng):
+        network = Network(
+            [
+                FullyConnectedLayer(np.array([[2.0]]), np.array([0.0])),
+                HardTanhLayer(1),
+                FullyConnectedLayer(np.array([[1.0]]), np.array([0.0])),
+            ]
+        )
+        partition = transform_line(network, LineSegment(np.array([-2.0]), np.array([2.0])))
+        inputs = sorted(partition.breakpoint_inputs.ravel())
+        np.testing.assert_allclose(inputs, [-2.0, -0.5, 0.5, 2.0], atol=1e-9)
+
+    def test_non_pwl_network_rejected(self, random_tanh_network):
+        with pytest.raises(NotPiecewiseLinearError):
+            transform_line(
+                random_tanh_network,
+                LineSegment(np.zeros(3), np.ones(3)),
+            )
+
+    def test_region_interior_points_lie_inside(self, toy_network):
+        partition = transform_line(
+            toy_network, LineSegment(np.array([-1.0]), np.array([2.0]))
+        )
+        for region in partition.regions:
+            interior = region.interior_point[0]
+            low, high = region.vertices[0][0], region.vertices[1][0]
+            assert low < interior < high
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_partition_covers_segment_monotonically(self, seed):
+        rng = np.random.default_rng(seed)
+        network = make_random_relu_network(rng, (2, 8, 6, 3))
+        segment = LineSegment(rng.normal(size=2) * 2, rng.normal(size=2) * 2)
+        partition = transform_line(network, segment)
+        ratios = partition.ratios
+        assert ratios[0] == 0.0 and ratios[-1] == 1.0
+        assert np.all(np.diff(ratios) > 0)
+
+
+class TestTransformPlane:
+    def make_plane(self, rng, network, scale: float = 2.0) -> np.ndarray:
+        """A random square embedded in the network's input space."""
+        dim = network.input_size
+        origin = rng.normal(size=dim)
+        direction_a = rng.normal(size=dim)
+        direction_b = rng.normal(size=dim)
+        return np.array(
+            [
+                origin,
+                origin + scale * direction_a,
+                origin + scale * (direction_a + direction_b),
+                origin + scale * direction_b,
+            ]
+        )
+
+    def test_partition_area_covers_input_polygon(self, rng):
+        network = make_random_relu_network(rng, (3, 8, 6, 2))
+        plane = self.make_plane(rng, network)
+        partition = transform_plane(network, plane)
+        assert partition.num_regions >= 1
+        # Compare areas in the plane's own 2-D coordinates.
+        from repro.polytope.polygon import polygon_area
+        from repro.syrenn.plane import _plane_coordinates
+
+        total_area = polygon_area(_plane_coordinates(plane))
+        region_area = sum(region.area for region in partition.regions)
+        assert region_area == pytest.approx(total_area, rel=1e-3)
+
+    def test_network_affine_within_each_region(self, rng):
+        network = make_random_relu_network(rng, (3, 8, 6, 2))
+        plane = self.make_plane(rng, network)
+        partition = transform_plane(network, plane)
+        checked = 0
+        for region in partition.regions:
+            if region.num_vertices < 3 or region.area < 1e-6:
+                continue
+            vertices = region.input_vertices
+            centroid = vertices.mean(axis=0)
+            interpolated = np.mean(
+                [network.compute(vertex) for vertex in vertices], axis=0
+            )
+            np.testing.assert_allclose(network.compute(centroid), interpolated, atol=1e-6)
+            checked += 1
+        assert checked >= 1
+
+    def test_affine_network_single_region(self, rng):
+        network = Network([FullyConnectedLayer.from_shape(4, 3, rng)])
+        plane = self.make_plane(rng, network)
+        partition = transform_plane(network, plane)
+        assert partition.num_regions == 1
+
+    def test_key_point_count(self, rng):
+        network = make_random_relu_network(rng, (3, 6, 2))
+        plane = self.make_plane(rng, network)
+        partition = transform_plane(network, plane)
+        assert partition.num_key_points() == sum(
+            region.num_vertices for region in partition.regions
+        )
+
+    def test_rejects_non_planar_vertex_set(self, rng):
+        network = make_random_relu_network(rng, (4, 6, 2))
+        vertices = rng.normal(size=(5, 4))  # generic position: not coplanar
+        with pytest.raises(ShapeError):
+            transform_plane(network, vertices)
+
+    def test_rejects_wrong_dimension(self, rng):
+        network = make_random_relu_network(rng, (4, 6, 2))
+        with pytest.raises(ShapeError):
+            transform_plane(network, rng.normal(size=(4, 3)))
+
+    def test_rejects_non_pwl_network(self, rng):
+        network = make_random_tanh_network(rng, (3, 5, 2))
+        plane = self.make_plane(rng, network)
+        with pytest.raises(NotPiecewiseLinearError):
+            transform_plane(network, plane)
+
+    def test_interior_points_inside_plane_bounding_box(self, rng):
+        network = make_random_relu_network(rng, (3, 8, 2))
+        plane = self.make_plane(rng, network)
+        partition = transform_plane(network, plane)
+        lower = plane.min(axis=0) - 1e-6
+        upper = plane.max(axis=0) + 1e-6
+        for region in partition.regions:
+            interior = region.interior_point
+            assert np.all(interior >= lower) and np.all(interior <= upper)

@@ -1,0 +1,156 @@
+"""Tests for repro.utils (rng, validation, timing, serialization)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.serialization import config_digest, load_arrays, save_arrays
+from repro.utils.timing import Stopwatch, TimeBudget
+from repro.utils.validation import (
+    check_finite,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_vector,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(7).integers(0, 1000) == ensure_rng(7).integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = ensure_rng(1).integers(0, 2**31, size=8)
+        draws_b = ensure_rng(2).integers(0, 2**31, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_spawn_rngs_are_independent(self):
+        children = spawn_rngs(ensure_rng(0), 3)
+        assert len(children) == 3
+        values = [child.integers(0, 2**31) for child in children]
+        assert len(set(values)) > 1
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(ensure_rng(0), -1)
+
+
+class TestValidation:
+    def test_check_vector_accepts_list(self):
+        result = check_vector([1, 2, 3])
+        assert result.dtype == np.float64
+        assert result.shape == (3,)
+
+    def test_check_vector_rejects_matrix(self):
+        with pytest.raises(ShapeError):
+            check_vector(np.zeros((2, 2)))
+
+    def test_check_vector_size_mismatch(self):
+        with pytest.raises(ShapeError):
+            check_vector([1.0, 2.0], size=3)
+
+    def test_check_matrix_accepts_nested_list(self):
+        result = check_matrix([[1, 2], [3, 4]])
+        assert result.shape == (2, 2)
+
+    def test_check_matrix_shape_enforced(self):
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros((2, 3)), rows=3)
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros((2, 3)), cols=2)
+
+    def test_check_matrix_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            check_matrix([1.0, 2.0])
+
+    def test_check_finite(self):
+        with pytest.raises(ShapeError):
+            check_finite(np.array([1.0, np.nan]))
+        array = np.array([1.0, 2.0])
+        assert check_finite(array) is array
+
+    def test_check_positive_int(self):
+        assert check_positive_int(5) == 5
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+        with pytest.raises(ValueError):
+            check_positive_int(2.5)
+
+    def test_check_probability(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+
+
+class TestStopwatch:
+    def test_phases_accumulate(self):
+        watch = Stopwatch()
+        with watch.phase("a"):
+            time.sleep(0.01)
+        with watch.phase("a"):
+            time.sleep(0.01)
+        with watch.phase("b"):
+            pass
+        totals = watch.totals()
+        assert totals["a"] >= 0.02
+        assert "b" in totals
+
+    def test_add_and_total(self):
+        watch = Stopwatch()
+        watch.add("x", 1.5)
+        watch.add("x", 0.5)
+        assert watch.total("x") == pytest.approx(2.0)
+        assert watch.total("missing") == 0.0
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Stopwatch().add("x", -1.0)
+
+    def test_other_is_nonnegative(self):
+        watch = Stopwatch()
+        watch.add("x", 1e9)  # more than elapsed
+        assert watch.other() == 0.0
+
+
+class TestTimeBudget:
+    def test_unlimited_budget_never_exhausts(self):
+        budget = TimeBudget(None)
+        assert not budget.exhausted()
+        assert budget.remaining() is None
+
+    def test_zero_budget_exhausts_immediately(self):
+        budget = TimeBudget(0.0)
+        assert budget.exhausted()
+        assert budget.remaining() == 0.0
+
+
+class TestSerialization:
+    def test_config_digest_stable_and_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_config_digest_differs(self):
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        arrays = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        path = tmp_path / "sub" / "arrays.npz"
+        save_arrays(path, arrays)
+        loaded = load_arrays(path)
+        assert set(loaded) == {"w", "b"}
+        np.testing.assert_array_equal(loaded["w"], arrays["w"])
