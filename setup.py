@@ -1,6 +1,6 @@
 """Setuptools shim.
 
-The project is configured through ``pyproject.toml``; this file exists so the
+All project metadata lives in ``pyproject.toml``; this file exists so the
 package can be installed in editable mode on machines without the ``wheel``
 package (``python setup.py develop``), e.g. fully offline environments.
 """

@@ -169,6 +169,52 @@ class DecoupledNetwork:
         return activation_inputs, value_inputs
 
     # ------------------------------------------------------------------
+    # Channel traces (batch of input vectors)
+    # ------------------------------------------------------------------
+    def batch_channel_traces(
+        self, value_points: np.ndarray, activation_points: np.ndarray | None = None
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-layer inputs of both channels for a batch of input vectors.
+
+        The batched analogue of :meth:`channel_traces`: ``value_points`` is a
+        ``(k, n)`` array (``activation_points`` likewise, defaulting to
+        ``value_points``) and each returned list entry has shape
+        ``(k, layer_input_size)``.  All ``k`` points flow through the layer
+        stack together, so the cost of the Python layer loop is paid once per
+        layer instead of once per point.
+        """
+        value_batch = np.atleast_2d(np.asarray(value_points, dtype=np.float64))
+        if activation_points is None:
+            activation_batch = value_batch
+        else:
+            activation_batch = np.atleast_2d(np.asarray(activation_points, dtype=np.float64))
+            if activation_batch.shape != value_batch.shape:
+                raise ShapeError(
+                    "activation_points must have the same shape as value_points "
+                    f"({activation_batch.shape} vs {value_batch.shape})"
+                )
+        if value_batch.shape[1] != self.input_size:
+            raise ShapeError(
+                f"expected inputs of size {self.input_size}, got {value_batch.shape[1]}"
+            )
+        activation_inputs = [activation_batch]
+        value_inputs = [value_batch]
+        current_activation = activation_batch
+        current_value = value_batch
+        for act_layer, val_layer in zip(self.activation.layers, self.value.layers):
+            if act_layer.kind is LayerKind.ACTIVATION:
+                next_value = act_layer.decoupled_forward(current_activation, current_value)
+                next_activation = act_layer.forward(current_activation)
+            else:
+                next_value = val_layer.forward(current_value)
+                next_activation = act_layer.forward(current_activation)
+            current_activation = next_activation
+            current_value = next_value
+            activation_inputs.append(current_activation)
+            value_inputs.append(current_value)
+        return activation_inputs, value_inputs
+
+    # ------------------------------------------------------------------
     # Parameter Jacobian (Theorem 4.5)
     # ------------------------------------------------------------------
     def parameter_jacobian(
@@ -207,6 +253,50 @@ class DecoupledNetwork:
         layer = self.value.layers[layer_index]
         jacobian = layer.parameter_jacobian(downstream, value_inputs[layer_index][0])
         return output, jacobian
+
+    def batch_parameter_jacobian(
+        self,
+        layer_index: int,
+        points: np.ndarray,
+        activation_points: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Outputs and parameter Jacobians of the DDNN at many points at once.
+
+        The vectorized analogue of :meth:`parameter_jacobian`: ``points`` is
+        a ``(k, n)`` array of value-channel inputs (``activation_points``
+        likewise, defaulting to ``points``), and the return value is
+        ``(outputs, jacobians)`` with shapes ``(k, output_size)`` and
+        ``(k, output_size, num_parameters_of_layer)``.
+
+        All ``k`` points share one forward pass (:meth:`batch_channel_traces`)
+        and one backward pass that pushes a stack of identity matrices
+        through the value channel, using each point's own linearizations from
+        the activation channel.  The result is numerically identical (up to
+        floating-point association) to calling :meth:`parameter_jacobian`
+        once per point, but the per-point Python overhead is eliminated —
+        this is the hot path of the batched repair engine.
+        """
+        layer_index = self._check_repairable(layer_index)
+        activation_inputs, value_inputs = self.batch_channel_traces(points, activation_points)
+        outputs = value_inputs[-1]
+        num_points = outputs.shape[0]
+
+        # Per-point downstream linear maps from the repaired layer's output
+        # to the network output: a (k, m, ·) stack seeded with identities.
+        downstream = np.repeat(np.eye(self.output_size)[None, :, :], num_points, axis=0)
+        for index in range(self.num_layers - 1, layer_index, -1):
+            act_layer = self.activation.layers[index]
+            val_layer = self.value.layers[index]
+            if act_layer.kind is LayerKind.ACTIVATION:
+                downstream = act_layer.batch_linearize_backward(
+                    downstream, activation_inputs[index]
+                )
+            else:
+                downstream = val_layer.batch_backward_input(downstream, value_inputs[index])
+
+        layer = self.value.layers[layer_index]
+        jacobians = layer.batch_parameter_jacobian(downstream, value_inputs[layer_index])
+        return outputs, jacobians
 
     def _check_repairable(self, layer_index: int) -> int:
         if layer_index < 0:

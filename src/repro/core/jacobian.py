@@ -3,10 +3,12 @@
 The repair algorithms need, for every repair point ``x``, the pair
 ``(N(x), J_x)`` where ``J_x`` is the Jacobian of the DDNN output with respect
 to the repaired value-channel layer's parameters (line 5 of Algorithm 1).
-The single-point computation lives on
-:meth:`repro.core.ddnn.DecoupledNetwork.parameter_jacobian`; this module adds
-the loop over a specification's points and a finite-difference checker used
-by the test-suite to validate the closed-form Jacobians.
+The vectorized multi-point computation lives on
+:meth:`repro.core.ddnn.DecoupledNetwork.batch_parameter_jacobian` (the
+single-point version on :meth:`~repro.core.ddnn.DecoupledNetwork.parameter_jacobian`);
+this module dispatches between the two for a whole specification and provides
+a finite-difference checker used by the test-suite to validate the
+closed-form Jacobians.
 """
 
 from __future__ import annotations
@@ -18,13 +20,20 @@ from repro.core.specs import PointRepairSpec
 
 
 def specification_jacobians(
-    ddnn: DecoupledNetwork, layer_index: int, spec: PointRepairSpec
+    ddnn: DecoupledNetwork, layer_index: int, spec: PointRepairSpec, *, batched: bool = True
 ) -> tuple[np.ndarray, np.ndarray]:
     """Outputs and Jacobians of the DDNN at every point of a specification.
 
     Returns ``(outputs, jacobians)`` with shapes ``(k, m)`` and
-    ``(k, m, num_parameters)`` respectively.
+    ``(k, m, num_parameters)`` respectively.  With ``batched=True`` (the
+    default) all points are propagated through the two channels in one
+    vectorized pass; ``batched=False`` keeps the legacy one-point-at-a-time
+    loop, retained for differential testing of the batched engine.
     """
+    if batched:
+        return ddnn.batch_parameter_jacobian(
+            layer_index, spec.points, spec.activation_points
+        )
     outputs = []
     jacobians = []
     for index in range(spec.num_points):

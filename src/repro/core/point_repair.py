@@ -14,6 +14,15 @@ specification ``(X, A·, b·)``, the algorithm:
 The result is either a repaired DDNN that provably satisfies the
 specification with a minimal single-layer change, or a proof (LP
 infeasibility) that no single-layer repair of layer ``i`` exists.
+
+Two implementations of steps 2–3 exist.  The **batched engine** (default)
+computes all Jacobians in one vectorized multi-point pass
+(:meth:`~repro.core.ddnn.DecoupledNetwork.batch_parameter_jacobian`) and
+assembles the constraint rows of every point with grouped einsums into a
+single LP block, which downstream becomes a sparse CSR standard form.  The
+**legacy engine** (``batched=False``) loops over the points one at a time; it
+is retained as the reference implementation for differential testing — both
+engines produce the same LP, row for row.
 """
 
 from __future__ import annotations
@@ -40,6 +49,8 @@ def point_repair(
     backend: str | None = None,
     delta_bound: float | None = None,
     timing: RepairTiming | None = None,
+    batched: bool = True,
+    sparse: bool | None = None,
 ) -> RepairResult:
     """Repair one (value-channel) layer so every spec point satisfies its constraint.
 
@@ -65,6 +76,16 @@ def point_repair(
         An existing :class:`RepairTiming` to accumulate into (used by the
         polytope repair algorithm, which has already spent time computing
         linear regions).
+    batched:
+        ``True`` (the default) computes all spec-point Jacobians in one
+        vectorized pass and encodes the LP constraints as a single block;
+        ``False`` uses the legacy one-point-at-a-time loop.  Both paths
+        build the same LP (identical rows in identical order) — the flag
+        exists for differential testing and performance comparison.
+    sparse:
+        Forwarded to :meth:`repro.lp.model.LPModel.solve`: ``True`` hands
+        the backend a CSR standard form, ``False`` a dense one, ``None``
+        (default) lets the backend's ``supports_sparse`` flag decide.
     """
     if spec.input_dimension != _input_size(network):
         raise SpecificationError(
@@ -85,25 +106,30 @@ def point_repair(
     bound = np.inf if delta_bound is None else float(delta_bound)
     delta_indices = model.add_variables(num_parameters, "delta", lower=-bound, upper=bound)
 
-    constraint_rows = 0
     with watch.phase("jacobian"):
-        encoded_blocks = []
-        for index in range(spec.num_points):
-            output, jacobian = ddnn.parameter_jacobian(
-                layer_index, spec.points[index], spec.activation_point(index)
-            )
-            constraint = spec.constraints[index]
-            # A_x (N(x) + J Δ) ≤ b_x   ⇔   (A_x J) Δ ≤ b_x - A_x N(x)
-            encoded_blocks.append(
-                (constraint.a @ jacobian, constraint.b - constraint.a @ output)
-            )
-            constraint_rows += constraint.num_constraints
+        if batched:
+            lhs, rhs = _encode_constraints_batched(ddnn, layer_index, spec)
+            encoded_blocks = [(lhs, rhs)]
+            constraint_rows = rhs.size
+        else:
+            constraint_rows = 0
+            encoded_blocks = []
+            for index in range(spec.num_points):
+                output, jacobian = ddnn.parameter_jacobian(
+                    layer_index, spec.points[index], spec.activation_point(index)
+                )
+                constraint = spec.constraints[index]
+                # A_x (N(x) + J Δ) ≤ b_x   ⇔   (A_x J) Δ ≤ b_x - A_x N(x)
+                encoded_blocks.append(
+                    (constraint.a @ jacobian, constraint.b - constraint.a @ output)
+                )
+                constraint_rows += constraint.num_constraints
     for matrix, rhs in encoded_blocks:
         model.add_leq_block(matrix, rhs, delta_indices)
     add_norm_objective(model, delta_indices, norm)
 
     with watch.phase("lp"):
-        solution = model.solve(backend)
+        solution = model.solve(backend, sparse=sparse)
 
     timing.jacobian_seconds += watch.total("jacobian")
     timing.lp_seconds += watch.total("lp")
@@ -142,6 +168,39 @@ def point_repair(
         objective_value=solution.objective,
         norm=norm,
     )
+
+
+def _encode_constraints_batched(
+    ddnn: DecoupledNetwork, layer_index: int, spec: PointRepairSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode ``A_x (N(x) + J_x Δ) ≤ b_x`` for every spec point at once.
+
+    Returns ``(lhs, rhs)`` such that the repair constraints are exactly
+    ``lhs @ Δ ≤ rhs``, with rows in specification order (point 0's rows
+    first) — the same layout the legacy per-point loop produces.  The
+    Jacobians come from one vectorized multi-point pass, and the per-point
+    products ``A_x J_x`` are computed with einsums over groups of points
+    sharing a constraint-row count, so no Python loop runs per point.
+    """
+    outputs, jacobians = ddnn.batch_parameter_jacobian(
+        layer_index, spec.points, spec.activation_points
+    )
+    num_parameters = jacobians.shape[2]
+    rows_per_point = np.array(
+        [constraint.num_constraints for constraint in spec.constraints], dtype=int
+    )
+    total_rows = int(rows_per_point.sum())
+    row_offsets = np.concatenate([[0], np.cumsum(rows_per_point)[:-1]])
+    lhs = np.empty((total_rows, num_parameters))
+    rhs = np.empty(total_rows)
+    for count in np.unique(rows_per_point):
+        group = np.where(rows_per_point == count)[0]
+        a = np.stack([spec.constraints[index].a for index in group])  # (g, count, m)
+        b = np.stack([spec.constraints[index].b for index in group])  # (g, count)
+        target = (row_offsets[group][:, None] + np.arange(count)[None, :]).ravel()
+        lhs[target] = np.einsum("gcm,gmp->gcp", a, jacobians[group]).reshape(-1, num_parameters)
+        rhs[target] = (b - np.einsum("gcm,gm->gc", a, outputs[group])).ravel()
+    return lhs, rhs
 
 
 def _input_size(network: Network | DecoupledNetwork) -> int:

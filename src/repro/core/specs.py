@@ -18,7 +18,6 @@ import numpy as np
 
 from repro.exceptions import SpecificationError
 from repro.polytope.hpolytope import HPolytope
-from repro.polytope.polygon import convex_hull
 from repro.polytope.segment import LineSegment
 
 

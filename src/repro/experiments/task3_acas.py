@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.baselines.fine_tune import fine_tune
 from repro.baselines.modified_fine_tune import modified_fine_tune
-from repro.core.ddnn import DecoupledNetwork
 from repro.core.point_repair import point_repair
 from repro.core.result import RepairTiming
 from repro.core.specs import PointRepairSpec

@@ -5,6 +5,7 @@ from __future__ import annotations
 import abc
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.lp.model import LPSolution
 
@@ -15,19 +16,34 @@ class LPBackend(abc.ABC):
     #: Human-readable backend name.
     name: str = "abstract"
 
+    #: Whether :meth:`solve` consumes ``scipy.sparse`` constraint matrices
+    #: natively.  ``LPModel.solve`` consults this flag to pick the
+    #: standard-form representation; backends that leave it ``False`` must
+    #: still accept sparse inputs by densifying them (see :meth:`as_dense`).
+    supports_sparse: bool = False
+
     @abc.abstractmethod
     def solve(
         self,
         c: np.ndarray,
-        a_ub: np.ndarray,
+        a_ub,
         b_ub: np.ndarray,
-        a_eq: np.ndarray,
+        a_eq,
         b_eq: np.ndarray,
         bounds: np.ndarray,
     ) -> LPSolution:
         """Solve ``min c@x  s.t.  a_ub@x<=b_ub, a_eq@x==b_eq, bounds``.
 
-        ``bounds`` is an ``(n, 2)`` array of per-variable ``(lower, upper)``
-        pairs; entries may be ``±inf``.
+        ``a_ub`` and ``a_eq`` may be dense arrays or ``scipy.sparse``
+        matrices (see ``LPModel.standard_form``); ``bounds`` is an ``(n, 2)``
+        array of per-variable ``(lower, upper)`` pairs; entries may be
+        ``±inf``.
         """
         raise NotImplementedError
+
+    @staticmethod
+    def as_dense(matrix) -> np.ndarray:
+        """Lazily densify a possibly-sparse constraint matrix."""
+        if sp.issparse(matrix):
+            return matrix.toarray()
+        return np.asarray(matrix, dtype=float)

@@ -19,10 +19,26 @@ _STATUS_MAP = {
 }
 
 
+def _num_entries(matrix) -> int:
+    """Logical entry count of a dense or sparse matrix (rows × cols).
+
+    Deliberately not ``nnz``: an all-zero block still carries rows whose
+    right-hand sides constrain feasibility (e.g. ``0 == b_eq``).
+    """
+    rows, cols = matrix.shape
+    return rows * cols
+
+
 class ScipyBackend(LPBackend):
-    """Solve LPs with ``scipy.optimize.linprog(method="highs")``."""
+    """Solve LPs with ``scipy.optimize.linprog(method="highs")``.
+
+    HiGHS is a sparsity-exploiting solver, so sparse constraint matrices
+    from ``LPModel.standard_form(sparse=True)`` are forwarded as-is — no
+    densification happens on this path.
+    """
 
     name = "scipy"
+    supports_sparse = True
 
     def __init__(self, method: str = "highs") -> None:
         self.method = method
@@ -31,10 +47,10 @@ class ScipyBackend(LPBackend):
         bounds_list = [(row[0], row[1]) for row in np.asarray(bounds, dtype=float)]
         result = linprog(
             c,
-            A_ub=a_ub if a_ub.size else None,
-            b_ub=b_ub if b_ub.size else None,
-            A_eq=a_eq if a_eq.size else None,
-            b_eq=b_eq if b_eq.size else None,
+            A_ub=a_ub if _num_entries(a_ub) else None,
+            b_ub=b_ub if _num_entries(a_ub) else None,
+            A_eq=a_eq if _num_entries(a_eq) else None,
+            b_eq=b_eq if _num_entries(a_eq) else None,
             bounds=bounds_list,
             method=self.method,
         )

@@ -158,11 +158,13 @@ class SimplexBackend(LPBackend):
         self.max_iterations = max_iterations
 
     def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds) -> LPSolution:
+        # The tableau works on dense arrays; sparse inputs from the batched
+        # repair engine are densified lazily here, at the last moment.
         problem = _to_equational(
             np.asarray(c, dtype=float),
-            np.asarray(a_ub, dtype=float),
+            self.as_dense(a_ub),
             np.asarray(b_ub, dtype=float),
-            np.asarray(a_eq, dtype=float),
+            self.as_dense(a_eq),
             np.asarray(b_eq, dtype=float),
             np.asarray(bounds, dtype=float),
         )

@@ -12,6 +12,15 @@ Standard form passed to backends::
     subject to  A_ub @ x <= b_ub
                 A_eq @ x == b_eq
                 lb <= x <= ub        (entries may be ±inf)
+
+Constraint blocks are stored narrow — each block keeps only the columns it
+actually touches — and :meth:`LPModel.standard_form` widens them on demand.
+The dense path materializes full ``(rows, num_variables)`` arrays, which is
+O(rows × vars) memory regardless of sparsity; the sparse fast path
+(``standard_form(sparse=True)``) assembles ``scipy.sparse`` CSR matrices
+directly from the narrow blocks and is what the batched repair engine hands
+to sparse-capable backends.  :meth:`LPModel.solve` picks the representation
+automatically from the backend's ``supports_sparse`` flag.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.exceptions import LPError
 from repro.lp.expression import LinearExpression
@@ -112,15 +122,23 @@ class LPModel:
         lower: float = -np.inf,
         upper: float = np.inf,
     ) -> np.ndarray:
-        """Add ``count`` variables and return their indices as an array."""
+        """Add ``count`` variables and return their indices as an array.
+
+        The whole block is appended in one vectorized extend — repair LPs
+        create tens of thousands of delta variables at once, so this must
+        not fall back to per-variable :meth:`add_variable` calls.
+        """
         if count < 0:
             raise LPError("count must be non-negative")
+        if lower > upper:
+            raise LPError(f"variable lower bound {lower} exceeds upper bound {upper}")
         base = name if name is not None else "x"
-        indices = [
-            self.add_variable(f"{base}[{offset}]", lower=lower, upper=upper)
-            for offset in range(count)
-        ]
-        return np.array(indices, dtype=int)
+        start = self._num_variables
+        self._names.extend(f"{base}[{offset}]" for offset in range(count))
+        self._lower.extend([float(lower)] * count)
+        self._upper.extend([float(upper)] * count)
+        self._num_variables += count
+        return np.arange(start, start + count, dtype=int)
 
     def variable_name(self, index: int) -> str:
         """Name of variable ``index``."""
@@ -184,6 +202,10 @@ class LPModel:
             raise LPError("columns length must match the number of matrix columns")
         if columns.size and (columns.min() < 0 or columns.max() >= self._num_variables):
             raise LPError("constraint references an unknown variable index")
+        if np.unique(columns).size != columns.size:
+            # Duplicates would make the dense (last-write-wins) and sparse
+            # (summing) assemblies disagree on the same model.
+            raise LPError("constraint block columns must be unique")
 
     # ------------------------------------------------------------------
     # Objective
@@ -211,12 +233,28 @@ class LPModel:
     # ------------------------------------------------------------------
     # Standard form assembly & solving
     # ------------------------------------------------------------------
-    def standard_form(self):
-        """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` dense arrays."""
+    def standard_form(self, sparse: bool = False):
+        """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)``.
+
+        With ``sparse=False`` (the default) the constraint matrices are dense
+        ``(rows, num_variables)`` arrays — simple, but O(rows × vars) even
+        when most entries are structural zeros.  With ``sparse=True`` they
+        are ``scipy.sparse`` CSR matrices assembled directly from the narrow
+        constraint blocks, never materializing full-width rows; this is the
+        fast path used for large repair LPs, whose constraint matrices are
+        mostly zero outside each block's column set.  ``c``, the right-hand
+        sides, and ``bounds`` are dense in both modes.
+        """
         n = self._num_variables
         c = np.zeros(n)
         for index, coefficient in self._objective.items():
             c[index] = coefficient
+        bounds = np.column_stack([self._lower, self._upper]) if n else np.zeros((0, 2))
+
+        if sparse:
+            a_ub, b_ub = self._assemble_sparse(equality=False)
+            a_eq, b_eq = self._assemble_sparse(equality=True)
+            return c, a_ub, b_ub, a_eq, b_eq, bounds
 
         ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
         for block in self._blocks:
@@ -233,19 +271,56 @@ class LPModel:
         b_ub = np.concatenate(ub_rhs) if ub_rhs else np.zeros(0)
         a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
         b_eq = np.concatenate(eq_rhs) if eq_rhs else np.zeros(0)
-        bounds = np.column_stack([self._lower, self._upper]) if n else np.zeros((0, 2))
         return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    def _assemble_sparse(self, equality: bool) -> tuple[sp.csr_matrix, np.ndarray]:
+        """CSR matrix and rhs of all blocks with the given sense."""
+        n = self._num_variables
+        data_parts: list[np.ndarray] = []
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        rhs_parts: list[np.ndarray] = []
+        row_offset = 0
+        for block in self._blocks:
+            if block.equality is not equality:
+                continue
+            local_rows, local_cols = np.nonzero(block.matrix)
+            data_parts.append(block.matrix[local_rows, local_cols])
+            row_parts.append(row_offset + local_rows)
+            col_parts.append(block.columns[local_cols])
+            rhs_parts.append(block.rhs)
+            row_offset += block.matrix.shape[0]
+        rhs = np.concatenate(rhs_parts) if rhs_parts else np.zeros(0)
+        if not data_parts:
+            return sp.csr_matrix((row_offset, n)), rhs
+        matrix = sp.coo_matrix(
+            (
+                np.concatenate(data_parts),
+                (np.concatenate(row_parts), np.concatenate(col_parts)),
+            ),
+            shape=(row_offset, n),
+        )
+        return matrix.tocsr(), rhs
 
     @property
     def num_constraints(self) -> int:
         """Total number of constraint rows added so far."""
         return sum(block.matrix.shape[0] for block in self._blocks)
 
-    def solve(self, backend: str | None = None) -> LPSolution:
-        """Solve the model with the named backend (default: ``"scipy"``)."""
+    def solve(self, backend: str | None = None, sparse: bool | None = None) -> LPSolution:
+        """Solve the model with the named backend (default: ``"scipy"``).
+
+        ``sparse`` selects the standard-form representation handed to the
+        backend: ``True`` forces the CSR fast path, ``False`` forces dense,
+        and ``None`` (the default) uses CSR exactly when the backend
+        advertises ``supports_sparse`` — backends without sparse support
+        (e.g. the educational simplex) densify lazily on entry either way.
+        """
         from repro.lp.backends import get_backend
 
         solver = get_backend(backend)
+        if sparse is None:
+            sparse = solver.supports_sparse
         if self._num_variables == 0:
             return LPSolution(LPStatus.OPTIMAL, np.zeros(0), 0.0, "empty model")
-        return solver.solve(*self.standard_form())
+        return solver.solve(*self.standard_form(sparse=sparse))

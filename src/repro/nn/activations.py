@@ -66,6 +66,18 @@ class _ElementwiseActivation(Layer):
         intercept = self._value(z0) - slope * z0
         return slope * z_value + intercept
 
+    def batch_linearize_backward(
+        self, grad_output: np.ndarray, preactivations: np.ndarray
+    ) -> np.ndarray:
+        """See :meth:`Layer.batch_linearize_backward`.
+
+        The transposed linearization of an element-wise activation is a
+        diagonal scaling by the per-point slopes, so the whole stack reduces
+        to one broadcast multiply.
+        """
+        slopes = self._derivative(np.atleast_2d(np.asarray(preactivations, dtype=np.float64)))
+        return np.asarray(grad_output, dtype=np.float64) * slopes[:, None, :]
+
 
 class ReLULayer(_ElementwiseActivation):
     """``ReLU(z) = max(z, 0)``.  Piecewise linear with a breakpoint at 0.
@@ -81,6 +93,18 @@ class ReLULayer(_ElementwiseActivation):
 
     def _derivative(self, z: np.ndarray) -> np.ndarray:
         return (z > 0.0).astype(np.float64)
+
+    def decoupled_forward(
+        self, activation_preactivation: np.ndarray, value_preactivation: np.ndarray
+    ) -> np.ndarray:
+        # The generic slope/intercept path builds several temporaries; for
+        # ReLU the linearization is just "pass through where the activation
+        # channel is positive", which matters on the batched hot path.
+        return np.where(
+            np.asarray(activation_preactivation, dtype=np.float64) > 0.0,
+            np.asarray(value_preactivation, dtype=np.float64),
+            0.0,
+        )
 
     def piecewise_breakpoints(self) -> tuple[float, ...]:
         return (0.0,)

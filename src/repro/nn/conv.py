@@ -238,6 +238,27 @@ class Conv2DLayer(Layer):
         bias_block = reshaped.sum(axis=2)
         return np.hstack([kernel_block, bias_block])
 
+    def batch_parameter_jacobian(
+        self, downstream: np.ndarray, forward_inputs: np.ndarray
+    ) -> np.ndarray:
+        """See :meth:`Layer.batch_parameter_jacobian`.
+
+        The im2col patches of all points are gathered in one shot and a
+        single einsum contracts them against the stacked downstream maps.
+        """
+        downstream = np.asarray(downstream, dtype=np.float64)
+        forward_inputs = np.atleast_2d(np.asarray(forward_inputs, dtype=np.float64))
+        if downstream.shape[2] != self.output_size:
+            raise ShapeError(
+                f"downstream maps have {downstream.shape[2]} columns, expected {self.output_size}"
+            )
+        k, m, _ = downstream.shape
+        cols = self._im2col(forward_inputs)                                   # (k, q, P)
+        reshaped = downstream.reshape(k, m, self.out_channels, -1)            # (k, m, c, P)
+        kernel_block = np.einsum("kmcp,kqp->kmcq", reshaped, cols).reshape(k, m, -1)
+        bias_block = reshaped.sum(axis=3)
+        return np.concatenate([kernel_block, bias_block], axis=2)
+
     def backward_parameters(self, grad_output: np.ndarray, forward_input: np.ndarray) -> np.ndarray:
         grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
         forward_input = np.atleast_2d(np.asarray(forward_input, dtype=np.float64))

@@ -155,6 +155,64 @@ class Layer(abc.ABC):
         """
         raise LayerError(f"{type(self).__name__} has no parameters")
 
+    def batch_parameter_jacobian(
+        self, downstream: np.ndarray, forward_inputs: np.ndarray
+    ) -> np.ndarray:
+        """Multi-point version of :meth:`parameter_jacobian`.
+
+        ``downstream`` has shape ``(k, m, output_size)`` — one downstream
+        linear map per point — and ``forward_inputs`` has shape
+        ``(k, input_size)``.  Returns ``(k, m, num_parameters)``.  The default
+        implementation loops over the points; :class:`FullyConnectedLayer`
+        and :class:`Conv2DLayer` override it with a single einsum so the
+        batched repair engine never drops into a Python loop.
+        """
+        downstream = np.asarray(downstream, dtype=np.float64)
+        forward_inputs = np.atleast_2d(np.asarray(forward_inputs, dtype=np.float64))
+        return np.stack(
+            [
+                self.parameter_jacobian(downstream[index], forward_inputs[index])
+                for index in range(downstream.shape[0])
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Batched downstream maps (batched repair engine)
+    # ------------------------------------------------------------------
+    def batch_backward_input(self, grad_output: np.ndarray, forward_inputs: np.ndarray) -> np.ndarray:
+        """Apply the transposed input Jacobian to a stack of matrices.
+
+        ``grad_output`` has shape ``(k, m, output_size)``; the result has
+        shape ``(k, m, input_size)``.  Only valid for layers that are affine
+        in their input (``PARAMETERIZED`` and ``STATIC`` kinds), whose input
+        Jacobian is independent of ``forward_inputs``; activation layers are
+        handled through :meth:`batch_linearize_backward` instead.
+        """
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        k, m, out = grad_output.shape
+        flat = self.backward_input(grad_output.reshape(k * m, out), forward_inputs)
+        return flat.reshape(k, m, self.input_size)
+
+    def batch_linearize_backward(
+        self, grad_output: np.ndarray, preactivations: np.ndarray
+    ) -> np.ndarray:
+        """Apply per-point transposed linearizations to a stack of matrices.
+
+        For every point ``i``, applies ``Linearize[σ, preactivations[i]]``
+        transposed to ``grad_output[i]`` (shape ``(m, output_size)``); the
+        result has shape ``(k, m, input_size)``.  The default implementation
+        builds one :class:`Linearization` per point; element-wise activations
+        and max-pooling override it with fully vectorized versions.
+        """
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        preactivations = np.atleast_2d(np.asarray(preactivations, dtype=np.float64))
+        return np.stack(
+            [
+                self.linearize(preactivations[index]).backward(grad_output[index])
+                for index in range(grad_output.shape[0])
+            ]
+        )
+
     # ------------------------------------------------------------------
     # Activation API (activation layers only)
     # ------------------------------------------------------------------

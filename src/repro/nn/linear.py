@@ -108,6 +108,28 @@ class FullyConnectedLayer(Layer):
         weight_block = np.einsum("mk,l->mkl", downstream, u).reshape(downstream.shape[0], -1)
         return np.hstack([weight_block, downstream])
 
+    def batch_parameter_jacobian(
+        self, downstream: np.ndarray, forward_inputs: np.ndarray
+    ) -> np.ndarray:
+        """See :meth:`Layer.batch_parameter_jacobian`.
+
+        One einsum builds the weight blocks of all points at once; the bias
+        blocks are the downstream maps themselves.
+        """
+        downstream = np.asarray(downstream, dtype=np.float64)
+        forward_inputs = np.atleast_2d(np.asarray(forward_inputs, dtype=np.float64))
+        if downstream.shape[2] != self.output_size:
+            raise ShapeError(
+                f"downstream maps have {downstream.shape[2]} columns, expected {self.output_size}"
+            )
+        if forward_inputs.shape[1] != self.input_size:
+            raise ShapeError(
+                f"forward inputs have size {forward_inputs.shape[1]}, expected {self.input_size}"
+            )
+        k, m, _ = downstream.shape
+        weight_block = np.einsum("kmo,ki->kmoi", downstream, forward_inputs).reshape(k, m, -1)
+        return np.concatenate([weight_block, downstream], axis=2)
+
     def backward_parameters(self, grad_output: np.ndarray, forward_input: np.ndarray) -> np.ndarray:
         grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
         forward_input = np.atleast_2d(np.asarray(forward_input, dtype=np.float64))

@@ -74,15 +74,22 @@ class MaxPool2DLayer(_Pool2DBase):
 
     def _argmax_flat_indices(self, vector: np.ndarray) -> np.ndarray:
         """Flat input index selected by each output coordinate at ``vector``."""
-        windows = self._windows(vector.reshape(1, -1))[0]          # (C, k*k, P)
-        winners = windows.argmax(axis=1)                            # (C, P)
+        return self._argmax_flat_indices_batch(vector.reshape(1, -1))[0]
+
+    def _argmax_flat_indices_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Flat input index selected by each output coordinate, per batch row.
+
+        Returns ``(batch, output_size)`` indices into the flat input.
+        """
+        windows = self._windows(batch)                              # (B, C, k*k, P)
+        winners = windows.argmax(axis=2)                            # (B, C, P)
         spatial = np.take_along_axis(
-            np.broadcast_to(self._window_flat, windows.shape), winners[:, None, :], axis=1
-        )[:, 0, :]
+            np.broadcast_to(self._window_flat, windows.shape), winners[:, :, None, :], axis=2
+        )[:, :, 0, :]
         channel_offsets = (
-            np.arange(self.channels)[:, None] * self.input_height * self.input_width
+            np.arange(self.channels)[None, :, None] * self.input_height * self.input_width
         )
-        return (spatial + channel_offsets).reshape(-1)
+        return (spatial + channel_offsets).reshape(batch.shape[0], -1)
 
     def backward_input(self, grad_output: np.ndarray, forward_input: np.ndarray) -> np.ndarray:
         grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
@@ -96,6 +103,27 @@ class MaxPool2DLayer(_Pool2DBase):
     def linearize(self, preactivation: np.ndarray) -> Linearization:
         indices = self._argmax_flat_indices(np.asarray(preactivation, dtype=np.float64).ravel())
         return SelectionLinearization(indices, self.input_size)
+
+    def batch_linearize_backward(
+        self, grad_output: np.ndarray, preactivations: np.ndarray
+    ) -> np.ndarray:
+        """See :meth:`Layer.batch_linearize_backward`.
+
+        The transposed selection map scatters each output column of every
+        point's matrix onto the input coordinate its pooling window selected;
+        a single ``np.add.at`` handles the whole stack.
+        """
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        preactivations = np.atleast_2d(np.asarray(preactivations, dtype=np.float64))
+        k, m, _ = grad_output.shape
+        selected = self._argmax_flat_indices_batch(preactivations)  # (k, output_size)
+        grad_input = np.zeros((k, self.input_size, m))
+        np.add.at(
+            grad_input,
+            (np.arange(k)[:, None], selected),
+            np.transpose(grad_output, (0, 2, 1)),
+        )
+        return np.transpose(grad_input, (0, 2, 1))
 
     def decoupled_forward(
         self, activation_preactivation: np.ndarray, value_preactivation: np.ndarray

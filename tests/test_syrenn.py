@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import NotPiecewiseLinearError, ShapeError
-from repro.nn.activations import HardTanhLayer, ReLULayer
+from repro.nn.activations import HardTanhLayer
 from repro.nn.linear import FullyConnectedLayer
 from repro.nn.network import Network
 from repro.polytope.segment import LineSegment
