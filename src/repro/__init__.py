@@ -25,6 +25,12 @@ The package is organized as:
     restricted to 1-D lines and 2-D planes.
 ``repro.polytope``
     Convex-geometry helpers used by ``repro.syrenn``.
+``repro.verify``
+    Violation search and certification: grid/random sampling verifiers and
+    the exact SyReNN-based verifier.
+``repro.driver``
+    The counterexample-guided (CEGIS) repair driver that closes the loop
+    between verification and repair.
 ``repro.datasets``, ``repro.models``
     Synthetic stand-ins for the paper's three evaluation tasks.
 ``repro.baselines``
@@ -57,8 +63,18 @@ from repro.core.polytope_repair import polytope_repair
 from repro.core.result import RepairResult, RepairTiming
 from repro.lp.model import LPModel
 from repro.lp.status import LPStatus
+from repro.verify import (
+    Counterexample,
+    GridVerifier,
+    RandomVerifier,
+    SyrennVerifier,
+    VerificationReport,
+    VerificationSpec,
+    Verifier,
+)
+from repro.driver import CounterexamplePool, DriverReport, RepairDriver
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Network",
@@ -83,5 +99,15 @@ __all__ = [
     "RepairTiming",
     "LPModel",
     "LPStatus",
+    "Verifier",
+    "VerificationSpec",
+    "VerificationReport",
+    "Counterexample",
+    "GridVerifier",
+    "RandomVerifier",
+    "SyrennVerifier",
+    "CounterexamplePool",
+    "RepairDriver",
+    "DriverReport",
     "__version__",
 ]

@@ -1,0 +1,27 @@
+"""The counterexample-guided repair driver (verify → pool → repair → re-verify).
+
+* :class:`repro.driver.pool.CounterexamplePool` — deduplicating,
+  checkpointable store of verification counterexamples; converts into a
+  batched pointwise repair specification.
+* :class:`repro.driver.driver.RepairDriver` — the CEGIS loop with budget
+  enforcement, layer escalation, and per-round drawdown tracking;
+  :class:`repro.driver.driver.DriverReport` is its structured outcome.
+"""
+
+from repro.driver.driver import (
+    DEFAULT_REPAIR_MARGIN,
+    DriverReport,
+    DriverTiming,
+    RepairDriver,
+    RoundRecord,
+)
+from repro.driver.pool import CounterexamplePool
+
+__all__ = [
+    "DEFAULT_REPAIR_MARGIN",
+    "CounterexamplePool",
+    "DriverReport",
+    "DriverTiming",
+    "RepairDriver",
+    "RoundRecord",
+]

@@ -1,0 +1,359 @@
+"""The counterexample-guided repair driver (CEGIS loop).
+
+Each round the driver (1) runs a :class:`~repro.verify.base.Verifier` over
+the target regions, (2) grows a deduplicating
+:class:`~repro.driver.pool.CounterexamplePool` with whatever violations were
+found, (3) solves one batched pointwise repair (the PR 1 engine) of the
+*original* network against the whole pool, and (4) re-verifies the repaired
+network.  Repairing against the full pool from the original network — rather
+than chaining incremental repairs — keeps the applied delta minimal-norm
+with respect to the buggy network and makes every round's LP a superset of
+the last, so progress is monotone.
+
+Counterexamples from the exact verifier carry the interior point of the
+linear region they violate; the pool pins each one to that activation
+pattern, which makes "repair the pooled vertices" equivalent to "repair the
+violated linear regions" (Appendix B of the paper).  With the exact verifier
+the loop therefore terminates in a round whose verification report certifies
+every region — the driver's closed-loop analogue of Algorithm 2.
+
+Rounds are bounded by ``max_rounds`` and a wall-clock
+:class:`~repro.utils.timing.TimeBudget`; infeasible (or stalled) rounds
+escalate to the next layer in the layer schedule; and an optional holdout
+set tracks drawdown per round via :mod:`repro.experiments.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.point_repair import point_repair
+from repro.core.result import RepairTiming
+from repro.driver.pool import CounterexamplePool
+from repro.exceptions import RepairError
+from repro.experiments.metrics import drawdown as drawdown_metric
+from repro.nn.network import Network
+from repro.utils.timing import Stopwatch, TimeBudget
+from repro.verify.base import VerificationReport, VerificationSpec, Verifier
+
+#: How much every pooled constraint is tightened when building the repair LP,
+#: so repaired outputs survive re-verification strictly.
+DEFAULT_REPAIR_MARGIN = 1e-6
+
+
+@dataclass
+class DriverTiming:
+    """Wall-clock split of a driver run, built on :class:`RepairTiming`.
+
+    ``repair`` accumulates the per-phase breakdown of every repair round
+    (LinRegions/Jacobian/LP/other, as in the paper's RQ4 analysis);
+    ``verify_seconds`` is the total verification time across rounds; and
+    ``other_seconds`` is driver overhead (pool bookkeeping, checkpointing,
+    holdout evaluation).
+    """
+
+    verify_seconds: float = 0.0
+    repair: RepairTiming = field(default_factory=RepairTiming)
+    other_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total driver wall-clock time."""
+        return self.verify_seconds + self.repair.total_seconds + self.other_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        """The split as a flat dictionary (used by benchmark reports)."""
+        return {
+            "verify": self.verify_seconds,
+            **{f"repair_{key}": value for key, value in self.repair.as_dict().items()},
+            "other": self.other_seconds,
+            "total": self.total_seconds,
+        }
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one verify→repair round."""
+
+    round_index: int
+    regions_certified: int
+    regions_violated: int
+    regions_unknown: int
+    new_counterexamples: int
+    pool_size: int
+    repair_attempted: bool = False
+    repair_feasible: bool | None = None
+    layer_index: int | None = None
+    delta_linf: float = 0.0
+    drawdown: float = float("nan")
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """The record as a JSON-ready dictionary."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class DriverReport:
+    """Outcome of a full driver run.
+
+    ``status`` is one of ``"certified"`` (the final verification pass proved
+    every region clean), ``"clean"`` (a sampling verifier found no remaining
+    violations — no proof), ``"infeasible"`` (no layer in the schedule
+    admits a repair of the pool), ``"stalled"`` (violations remain but the
+    verifier found nothing new on any remaining layer),
+    ``"budget_exhausted"``, or ``"max_rounds_reached"``.
+    """
+
+    status: str
+    certified: bool
+    network: DecoupledNetwork
+    rounds: list[RoundRecord] = field(default_factory=list)
+    final_report: VerificationReport | None = None
+    pool_size: int = 0
+    counterexamples_found: int = 0
+    unsatisfied_pool_indices: list[int] = field(default_factory=list)
+    timing: DriverTiming = field(default_factory=DriverTiming)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of verify→repair rounds executed."""
+        return len(self.rounds)
+
+    @property
+    def remaining_violations(self) -> int:
+        """Violated regions in the final verification pass (0 when clean)."""
+        return self.final_report.num_violated if self.final_report is not None else 0
+
+    def as_dict(self) -> dict:
+        """A JSON-ready summary (no network weights)."""
+        return {
+            "status": self.status,
+            "certified": self.certified,
+            "num_rounds": self.num_rounds,
+            "pool_size": self.pool_size,
+            "counterexamples_found": self.counterexamples_found,
+            "remaining_violations": self.remaining_violations,
+            "unsatisfied_pool_counterexamples": len(self.unsatisfied_pool_indices),
+            "final_report": (
+                self.final_report.as_dict() if self.final_report is not None else None
+            ),
+            "rounds": [record.as_dict() for record in self.rounds],
+            "timing": self.timing.as_dict(),
+        }
+
+
+class RepairDriver:
+    """Closed-loop verify → pool → repair → re-verify driver.
+
+    Parameters
+    ----------
+    network:
+        The buggy network (or DDNN) to repair.
+    spec:
+        The verification targets: regions plus output constraints.
+    verifier:
+        The violation-search implementation.  With
+        :class:`~repro.verify.exact.SyrennVerifier` the driver terminates
+        with a *certified* report; sampling verifiers can only reach
+        ``"clean"``.
+    layer_schedule:
+        Layers to repair, tried in order; an infeasible or stalled round
+        escalates to the next entry.  Defaults to every repairable layer
+        from the output backwards (the §7.1 heuristic).
+    repair_margin:
+        Constraint tightening applied when the pool becomes a repair LP, so
+        repaired outputs clear the verifier's tolerance strictly.
+    max_rounds:
+        Hard cap on verify→repair rounds.
+    budget_seconds:
+        Wall-clock budget (:class:`TimeBudget`); checked before each round.
+    holdout:
+        Optional ``(inputs, labels)`` pair; when given, each round records
+        drawdown of the current repair against the original network.
+    checkpoint_path:
+        When given, the pool is checkpointed here after every verification
+        and reloaded (resume) if the file already exists at start.
+    norm, backend, delta_bound, batched, sparse:
+        Forwarded to :func:`repro.core.point_repair.point_repair`.
+    """
+
+    def __init__(
+        self,
+        network: Network | DecoupledNetwork,
+        spec: VerificationSpec,
+        verifier: Verifier,
+        *,
+        layer_schedule: list[int] | None = None,
+        repair_margin: float = DEFAULT_REPAIR_MARGIN,
+        max_rounds: int = 10,
+        budget_seconds: float | None = None,
+        holdout: tuple | None = None,
+        checkpoint_path: str | Path | None = None,
+        pool: CounterexamplePool | None = None,
+        norm: str = "linf",
+        backend: str | None = None,
+        delta_bound: float | None = None,
+        batched: bool = True,
+        sparse: bool | None = None,
+    ) -> None:
+        if max_rounds < 1:
+            raise RepairError("the driver needs at least one round")
+        self.base = (
+            network.copy()
+            if isinstance(network, DecoupledNetwork)
+            else DecoupledNetwork.from_network(network)
+        )
+        self.buggy = network
+        self.spec = spec
+        self.verifier = verifier
+        self.layer_schedule = (
+            list(layer_schedule)
+            if layer_schedule is not None
+            else list(reversed(self.base.repairable_layer_indices()))
+        )
+        if not self.layer_schedule:
+            raise RepairError("the layer schedule is empty")
+        self.repair_margin = float(repair_margin)
+        self.max_rounds = int(max_rounds)
+        self.budget_seconds = budget_seconds
+        self.holdout = holdout
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
+        if pool is not None:
+            self.pool = pool
+        elif self.checkpoint_path is not None and self.checkpoint_path.exists():
+            self.pool = CounterexamplePool.load(self.checkpoint_path)
+        else:
+            self.pool = CounterexamplePool()
+        self.norm = norm
+        self.backend = backend
+        self.delta_bound = delta_bound
+        self.batched = batched
+        self.sparse = sparse
+
+    # ------------------------------------------------------------------
+    def run(self) -> DriverReport:
+        """Execute the CEGIS loop and return the final report."""
+        budget = TimeBudget(self.budget_seconds)
+        watch = Stopwatch()
+        timing = DriverTiming()
+        rounds: list[RoundRecord] = []
+        current = self.base.copy()
+        layer_cursor = 0
+        status = "max_rounds_reached"
+        final_report: VerificationReport | None = None
+        counterexamples_found = 0
+        # Whether a repair against the current pool has been attempted at the
+        # current layer *in this run* — a resumed (or pre-seeded) pool starts
+        # with counterexamples nothing was ever repaired against.
+        repaired_at_cursor = False
+        report_is_stale = False  # a repair was applied after the last verify
+
+        for round_index in range(self.max_rounds):
+            if budget.exhausted():
+                status = "budget_exhausted"
+                break
+            with watch.phase("verify"):
+                report = self.verifier.verify(current, self.spec)
+            final_report = report
+            report_is_stale = False
+            record = RoundRecord(
+                round_index=round_index,
+                regions_certified=report.num_certified,
+                regions_violated=report.num_violated,
+                regions_unknown=report.num_unknown,
+                new_counterexamples=0,
+                pool_size=len(self.pool),
+                seconds=report.seconds,
+            )
+            rounds.append(record)
+
+            if report.num_violated == 0:
+                status = "certified" if report.certified else "clean"
+                break
+
+            new = self.pool.extend(report.counterexamples)
+            counterexamples_found += new
+            record.new_counterexamples = new
+            record.pool_size = len(self.pool)
+            if self.checkpoint_path is not None:
+                self.pool.save(self.checkpoint_path)
+
+            if new == 0 and repaired_at_cursor:
+                # This layer was already repaired against this exact pool,
+                # yet violations remain: it cannot do better.
+                layer_cursor += 1
+                repaired_at_cursor = False
+                if layer_cursor >= len(self.layer_schedule):
+                    status = "stalled"
+                    break
+
+            repair_spec = self.pool.point_spec(margin=self.repair_margin)
+            result = None
+            while layer_cursor < len(self.layer_schedule):
+                layer_index = self.layer_schedule[layer_cursor]
+                result = point_repair(
+                    self.base,
+                    layer_index,
+                    repair_spec,
+                    norm=self.norm,
+                    backend=self.backend,
+                    delta_bound=self.delta_bound,
+                    batched=self.batched,
+                    sparse=self.sparse,
+                )
+                _accumulate(timing.repair, result.timing)
+                record.repair_attempted = True
+                record.repair_feasible = result.feasible
+                record.layer_index = result.layer_index
+                repaired_at_cursor = True
+                if result.feasible:
+                    break
+                layer_cursor += 1
+                repaired_at_cursor = False
+            if result is None or not result.feasible:
+                status = "infeasible"
+                break
+
+            current = result.network
+            report_is_stale = True
+            record.delta_linf = result.delta_linf_norm
+            if self.holdout is not None:
+                inputs, labels = self.holdout
+                record.drawdown = drawdown_metric(self.buggy, current, inputs, labels)
+
+        if report_is_stale:
+            # The loop ran out of rounds (or budget) right after a repair:
+            # re-verify so the report describes the network actually returned,
+            # and upgrade the status if that last repair finished the job.
+            with watch.phase("verify"):
+                final_report = self.verifier.verify(current, self.spec)
+            if final_report.num_violated == 0:
+                status = "certified" if final_report.certified else "clean"
+
+        timing.verify_seconds = watch.total("verify")
+        timing.other_seconds = max(
+            0.0, watch.elapsed() - timing.verify_seconds - timing.repair.total_seconds
+        )
+        return DriverReport(
+            status=status,
+            certified=final_report.certified if final_report is not None else False,
+            network=current,
+            rounds=rounds,
+            final_report=final_report,
+            pool_size=len(self.pool),
+            counterexamples_found=counterexamples_found,
+            unsatisfied_pool_indices=(
+                self.pool.unsatisfied(current) if len(self.pool) else []
+            ),
+            timing=timing,
+        )
+
+
+def _accumulate(total: RepairTiming, part: RepairTiming) -> None:
+    total.linregions_seconds += part.linregions_seconds
+    total.jacobian_seconds += part.jacobian_seconds
+    total.lp_seconds += part.lp_seconds
+    total.other_seconds += part.other_seconds

@@ -1,0 +1,162 @@
+"""The deduplicating counterexample pool of the CEGIS repair driver.
+
+Every verification round can return counterexamples the pool has already
+seen (the exact verifier reports every violating vertex of every linear
+region, and vertices are shared between adjacent regions).  The pool keys
+each counterexample by its rounded point, rounded activation point, and a
+digest of its constraint, so re-adding an old counterexample is a no-op and
+the driver can tell "the verifier found something new" from "the verifier is
+stuck".
+
+The pool also persists itself through :mod:`repro.utils.serialization` so an
+interrupted driver run (CI timeout, budget exhaustion) resumes with every
+counterexample it had already paid verification time for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.specs import PointRepairSpec
+from repro.polytope.hpolytope import HPolytope
+from repro.utils.serialization import load_arrays, save_arrays
+from repro.verify.base import Counterexample
+
+
+class CounterexamplePool:
+    """An insertion-ordered, deduplicating set of counterexamples."""
+
+    def __init__(self, decimals: int = 9) -> None:
+        self.decimals = int(decimals)
+        self._counterexamples: list[Counterexample] = []
+        self._keys: set[bytes] = set()
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def add(self, counterexample: Counterexample) -> bool:
+        """Add one counterexample; returns ``True`` if it was new."""
+        key = self._key(counterexample)
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self._counterexamples.append(counterexample)
+        return True
+
+    def extend(self, counterexamples: list[Counterexample]) -> int:
+        """Add many counterexamples; returns how many were new."""
+        return sum(self.add(counterexample) for counterexample in counterexamples)
+
+    def _key(self, counterexample: Counterexample) -> bytes:
+        digest = hashlib.sha256()
+        digest.update(np.round(counterexample.point, self.decimals).tobytes())
+        digest.update(
+            np.round(counterexample.resolved_activation_point(), self.decimals).tobytes()
+        )
+        digest.update(np.ascontiguousarray(counterexample.constraint.a).tobytes())
+        digest.update(np.ascontiguousarray(counterexample.constraint.b).tobytes())
+        return digest.digest()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._counterexamples)
+
+    @property
+    def counterexamples(self) -> list[Counterexample]:
+        """The pooled counterexamples, in insertion order."""
+        return list(self._counterexamples)
+
+    @property
+    def worst_margin(self) -> float:
+        """The largest violation margin in the pool (-inf when empty)."""
+        return max(
+            (counterexample.margin for counterexample in self._counterexamples),
+            default=float("-inf"),
+        )
+
+    # ------------------------------------------------------------------
+    # Repair interface
+    # ------------------------------------------------------------------
+    def point_spec(self, margin: float = 0.0) -> PointRepairSpec:
+        """The pool as a pointwise repair specification.
+
+        ``margin`` tightens every constraint (``b → b - margin``) so the
+        repaired outputs land strictly inside their polytopes and survive
+        re-verification under a stricter-than-LP-solver tolerance.
+        """
+        if not self._counterexamples:
+            raise ValueError("cannot build a repair spec from an empty pool")
+        points = np.array([c.point for c in self._counterexamples])
+        activation_points = np.array(
+            [c.resolved_activation_point() for c in self._counterexamples]
+        )
+        constraints = [
+            HPolytope(c.constraint.a, c.constraint.b - margin)
+            for c in self._counterexamples
+        ]
+        return PointRepairSpec(
+            points=points, constraints=constraints, activation_points=activation_points
+        )
+
+    def unsatisfied(self, network, tolerance: float = 1e-6) -> list[int]:
+        """Indices of pooled counterexamples ``network`` still violates.
+
+        This is the driver's differential check: after a feasible repair,
+        every pooled counterexample must be satisfied (the LP guarantees it),
+        so a non-empty result flags a numerical or encoding bug.
+        """
+        indices = []
+        for index, counterexample in enumerate(self._counterexamples):
+            try:
+                output = network.compute(
+                    counterexample.point, counterexample.resolved_activation_point()
+                )
+            except TypeError:  # a plain Network: no activation channel
+                output = network.compute(counterexample.point)
+            if counterexample.constraint.violation(np.asarray(output)) > tolerance:
+                indices.append(index)
+        return indices
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Checkpoint the pool to an ``.npz`` file."""
+        arrays: dict[str, np.ndarray] = {
+            "decimals": np.array([self.decimals]),
+            "count": np.array([len(self._counterexamples)]),
+        }
+        for index, counterexample in enumerate(self._counterexamples):
+            arrays[f"point_{index}"] = counterexample.point
+            arrays[f"activation_{index}"] = counterexample.resolved_activation_point()
+            arrays[f"constraint_a_{index}"] = counterexample.constraint.a
+            arrays[f"constraint_b_{index}"] = counterexample.constraint.b
+            arrays[f"meta_{index}"] = np.array(
+                [counterexample.margin, float(counterexample.region_index)]
+            )
+        save_arrays(Path(path), arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CounterexamplePool":
+        """Restore a pool checkpointed by :meth:`save`."""
+        arrays = load_arrays(Path(path))
+        pool = cls(decimals=int(arrays["decimals"][0]))
+        for index in range(int(arrays["count"][0])):
+            margin, region_index = arrays[f"meta_{index}"]
+            pool.add(
+                Counterexample(
+                    point=arrays[f"point_{index}"],
+                    constraint=HPolytope(
+                        arrays[f"constraint_a_{index}"], arrays[f"constraint_b_{index}"]
+                    ),
+                    margin=float(margin),
+                    region_index=int(region_index),
+                    activation_point=arrays[f"activation_{index}"],
+                )
+            )
+        return pool

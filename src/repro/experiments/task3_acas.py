@@ -24,11 +24,13 @@ from repro.core.point_repair import point_repair
 from repro.core.result import RepairTiming
 from repro.core.specs import PointRepairSpec
 from repro.datasets.acas import SafetyProperty, phi8_property
+from repro.driver import DriverReport, RepairDriver
 from repro.polytope.hpolytope import HPolytope
 from repro.models.zoo import ModelZoo
 from repro.nn.network import Network
 from repro.syrenn.plane import transform_plane
 from repro.utils.rng import ensure_rng
+from repro.verify import SyrennVerifier, VerificationSpec, Verifier
 
 #: Margin for the strengthened per-region classification constraints.
 CLASSIFICATION_MARGIN = 1e-4
@@ -206,6 +208,105 @@ def strengthened_specification(
         activation_points=np.array(activation_points),
     )
     return spec, linregions_seconds
+
+
+def strengthened_verification_spec(
+    network: Network, setup: Task3Setup, *, margin: float = CLASSIFICATION_MARGIN
+) -> VerificationSpec:
+    """The repair slices as verification targets, strengthened per linear region.
+
+    φ8 allows *two* advisories — a disjunction no single output polytope can
+    express — so each linear region of each repair slice becomes its own
+    verification region whose constraint requires the allowed advisory the
+    buggy network already prefers at the region's interior point (the same
+    strengthening :func:`strengthened_specification` applies for one-shot
+    repair).  The strengthening stays valid across driver rounds because the
+    DDNN's activation channel — and therefore the linear-region geometry —
+    never changes under value-channel repair (Theorem 4.6).
+    """
+    allowed = setup.safety_property.allowed
+    spec = VerificationSpec()
+    for slice_index, slice_vertices in enumerate(setup.repair_slices):
+        partition = transform_plane(network, slice_vertices)
+        for region_index, region in enumerate(partition.regions):
+            scores = network.compute(region.interior_point)
+            winner = max(allowed, key=lambda advisory: scores[advisory])
+            constraint = safe_advisory_constraint(
+                network.output_size, winner, allowed, margin
+            )
+            spec.add_plane(
+                region.input_vertices,
+                constraint,
+                name=f"slice{slice_index}/region{region_index}",
+            )
+    return spec
+
+
+def driver_slice_repair(
+    setup: Task3Setup,
+    layer_index: int | None = None,
+    *,
+    norm: str = "linf",
+    backend: str | None = None,
+    verifier: Verifier | None = None,
+    max_rounds: int = 5,
+    budget_seconds: float | None = None,
+    checkpoint_path=None,
+    efficacy_samples_per_slice: int = 64,
+) -> tuple[dict, DriverReport]:
+    """Closed-loop CEGIS repair of the repair slices (strengthened φ8).
+
+    Unlike :func:`provable_slice_repair`, which hands the whole strengthened
+    specification to one LP, the driver starts from an *empty* specification
+    and lets the verifier discover which region vertices actually need
+    repair, iterating verify → pool → repair until the exact verifier
+    certifies every region.  Returns ``(record, driver_report)`` where
+    ``record`` has the same safety-metric keys as the other Task 3 methods.
+    """
+    chosen = layer_index if layer_index is not None else setup.last_layer_index
+    schedule = [chosen] + [
+        index
+        for index in reversed(setup.network.parameterized_layer_indices())
+        if index != chosen
+    ]
+    spec = strengthened_verification_spec(setup.network, setup)
+    # Drawdown is tracked per round as prediction churn on the already-safe
+    # holdout encounters (the buggy network's own advisories are the labels).
+    holdout_labels = np.atleast_1d(setup.network.predict(setup.drawdown_points))
+    driver = RepairDriver(
+        setup.network,
+        spec,
+        verifier if verifier is not None else SyrennVerifier(),
+        layer_schedule=schedule,
+        norm=norm,
+        backend=backend,
+        max_rounds=max_rounds,
+        budget_seconds=budget_seconds,
+        holdout=(setup.drawdown_points, holdout_labels),
+        checkpoint_path=checkpoint_path,
+    )
+    report = driver.run()
+    record = {
+        "method": "CEGIS",
+        "layer_index": chosen,
+        "num_slices": len(setup.repair_slices),
+        "regions": spec.num_regions,
+        "rounds": report.num_rounds,
+        "status": report.status,
+        "certified": report.certified,
+        "pool_size": report.pool_size,
+        "remaining_violations": report.remaining_violations,
+        **{f"time_{key}": value for key, value in report.timing.as_dict().items()},
+    }
+    if report.status in ("certified", "clean"):
+        record.update(
+            _safety_metrics(setup, report.network, efficacy_samples_per_slice)
+        )
+    else:
+        record.update(
+            {"efficacy": float("nan"), "drawdown": float("nan"), "generalization": float("nan")}
+        )
+    return record, report
 
 
 def provable_slice_repair(

@@ -41,6 +41,20 @@ class HPolytope:
         point = check_vector(point, "point", size=self.output_dimension)
         return float(np.max(self.a @ point - self.b))
 
+    def contains_batch(self, points: np.ndarray, tolerance: float = 1e-7) -> np.ndarray:
+        """Vectorized :meth:`contains`: boolean mask for a ``(k, m)`` batch.
+
+        The verification subsystem checks thousands of sampled outputs per
+        region; one matmul over the batch replaces the per-point Python loop.
+        """
+        points = check_matrix(points, "points", cols=self.output_dimension)
+        return np.all(points @ self.a.T <= self.b + tolerance, axis=1)
+
+    def violation_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`violation`: per-point margins for a ``(k, m)`` batch."""
+        points = check_matrix(points, "points", cols=self.output_dimension)
+        return np.max(points @ self.a.T - self.b, axis=1)
+
     def intersect(self, other: "HPolytope") -> "HPolytope":
         """The intersection of two polytopes over the same output space."""
         if other.output_dimension != self.output_dimension:

@@ -1,0 +1,38 @@
+"""Violation search and certification for repair specifications.
+
+* :mod:`repro.verify.base` — the :class:`Verifier` interface,
+  :class:`VerificationSpec` (regions + output constraints),
+  :class:`Counterexample`, and :class:`VerificationReport` with
+  certified/violated/unknown region accounting.
+* :mod:`repro.verify.sampling` — :class:`GridVerifier` (dense deterministic
+  sweep) and :class:`RandomVerifier` (seeded Monte-Carlo); they find
+  violations but never certify.
+* :mod:`repro.verify.exact` — :class:`SyrennVerifier`, exact over
+  line/plane regions via the SyReNN linear-region decomposition; certifies
+  regions or returns true counterexamples.
+"""
+
+from repro.verify.base import (
+    Box,
+    Counterexample,
+    RegionStatus,
+    SpecRegion,
+    VerificationReport,
+    VerificationSpec,
+    Verifier,
+)
+from repro.verify.exact import SyrennVerifier
+from repro.verify.sampling import GridVerifier, RandomVerifier
+
+__all__ = [
+    "Box",
+    "Counterexample",
+    "RegionStatus",
+    "SpecRegion",
+    "VerificationReport",
+    "VerificationSpec",
+    "Verifier",
+    "GridVerifier",
+    "RandomVerifier",
+    "SyrennVerifier",
+]

@@ -1,0 +1,284 @@
+"""The verification interface: specs, counterexamples, and reports.
+
+The repair algorithms assume someone already knows *where* the network is
+wrong — the specification is handed to them fully formed.  This module is
+the other half of the loop: a :class:`VerificationSpec` names input regions
+and the output polytope each must map into, and a :class:`Verifier` searches
+those regions for violations, returning structured
+:class:`Counterexample` objects and a :class:`VerificationReport` that
+accounts for every region as *certified*, *violated*, or *unknown*.
+
+Three verifiers implement the interface (each in its own module):
+
+* :class:`repro.verify.sampling.GridVerifier` — dense deterministic sweep;
+  finds violations, never certifies.
+* :class:`repro.verify.sampling.RandomVerifier` — seeded Monte-Carlo with
+  per-point margin tracking; finds violations, never certifies.
+* :class:`repro.verify.exact.SyrennVerifier` — exact over line/plane regions
+  by decomposing them into linear regions (the SyReNN substrate) and
+  checking each region's vertices; certifies or produces true
+  counterexamples.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.specs import PolytopeRepairSpec
+from repro.exceptions import SpecificationError
+from repro.nn.network import Network
+from repro.polytope.hpolytope import HPolytope
+from repro.polytope.segment import LineSegment
+
+#: A sampled output violates its constraint when the margin exceeds this.
+DEFAULT_TOLERANCE = 1e-7
+
+
+class RegionStatus(enum.Enum):
+    """Verification verdict for one specification region."""
+
+    CERTIFIED = "certified"  #: proven free of violations (exact verifiers only)
+    VIOLATED = "violated"    #: at least one concrete counterexample found
+    UNKNOWN = "unknown"      #: no violation found, but nothing proven
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned input box ``{x : lower ≤ x ≤ upper}`` (dims may be degenerate)."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lower", np.asarray(self.lower, dtype=np.float64).ravel())
+        object.__setattr__(self, "upper", np.asarray(self.upper, dtype=np.float64).ravel())
+        if self.lower.shape != self.upper.shape:
+            raise SpecificationError("box lower and upper bounds must have the same shape")
+        if np.any(self.lower > self.upper):
+            raise SpecificationError("box lower bound exceeds upper bound")
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the ambient input space."""
+        return self.lower.size
+
+    def varying_dimensions(self, tolerance: float = 1e-12) -> np.ndarray:
+        """Indices of dimensions with non-degenerate extent."""
+        return np.where(self.upper - self.lower > tolerance)[0]
+
+
+#: An input region is a segment, a convex planar polygon (vertex array), or a box.
+InputRegion = LineSegment | np.ndarray | Box
+
+
+@dataclass
+class SpecRegion:
+    """One input region paired with the output constraint it must map into."""
+
+    region: InputRegion
+    constraint: HPolytope
+    name: str = ""
+
+
+@dataclass
+class VerificationSpec:
+    """Finitely many input regions, each with an output polytope to satisfy."""
+
+    regions: list[SpecRegion] = field(default_factory=list)
+
+    @property
+    def num_regions(self) -> int:
+        """Number of regions in the specification."""
+        return len(self.regions)
+
+    def add_segment(self, segment: LineSegment, constraint: HPolytope, name: str = "") -> None:
+        """Require every point of ``segment`` to map into ``constraint``."""
+        self.regions.append(SpecRegion(segment, constraint, name))
+
+    def add_plane(self, vertices, constraint: HPolytope, name: str = "") -> None:
+        """Require every point of the convex planar polygon to map into ``constraint``."""
+        vertices = np.atleast_2d(np.asarray(vertices, dtype=np.float64))
+        if vertices.shape[0] < 3:
+            raise SpecificationError("a planar region needs at least three vertices")
+        self.regions.append(SpecRegion(vertices, constraint, name))
+
+    def add_box(self, lower, upper, constraint: HPolytope, name: str = "") -> None:
+        """Require every point of the axis-aligned box to map into ``constraint``."""
+        self.regions.append(SpecRegion(Box(lower, upper), constraint, name))
+
+    @classmethod
+    def from_polytope_spec(cls, spec: PolytopeRepairSpec) -> "VerificationSpec":
+        """Adopt the regions of a repair specification as verification targets."""
+        verification = cls()
+        for entry in spec.entries:
+            verification.regions.append(SpecRegion(entry.region, entry.constraint))
+        return verification
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.regions, list):
+            raise SpecificationError("regions must be a list of SpecRegion entries")
+
+
+@dataclass
+class Counterexample:
+    """A concrete input on which the network violates its region's constraint.
+
+    Attributes
+    ----------
+    point:
+        The violating input.
+    constraint:
+        The output polytope the network was supposed to map ``point`` into.
+    margin:
+        The largest constraint violation at ``point`` (strictly positive).
+    region_index:
+        Index of the specification region the point came from.
+    activation_point:
+        For counterexamples produced by the exact verifier: an interior
+        point of the linear region the violating vertex belongs to.  Feeding
+        it to the DDNN's activation channel pins the vertex to that region's
+        activation pattern (Appendix B of the paper), which is what makes
+        repairing the vertex equivalent to repairing the whole region.
+    """
+
+    point: np.ndarray
+    constraint: HPolytope
+    margin: float
+    region_index: int
+    activation_point: np.ndarray | None = None
+
+    def resolved_activation_point(self) -> np.ndarray:
+        """The activation point, defaulting to the point itself."""
+        return self.point if self.activation_point is None else self.activation_point
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification pass over a specification.
+
+    ``region_statuses[i]`` is the verdict for ``spec.regions[i]``;
+    ``region_margins[i]`` is the largest constraint margin observed on that
+    region (≤ 0 everywhere the verifier looked means no violation seen).
+    """
+
+    verifier: str
+    region_statuses: list[RegionStatus]
+    region_margins: list[float]
+    counterexamples: list[Counterexample] = field(default_factory=list)
+    points_checked: int = 0
+    linear_regions_checked: int = 0
+    seconds: float = 0.0
+
+    @property
+    def num_regions(self) -> int:
+        """Number of specification regions covered by this report."""
+        return len(self.region_statuses)
+
+    @property
+    def num_certified(self) -> int:
+        """Regions proven free of violations."""
+        return sum(status is RegionStatus.CERTIFIED for status in self.region_statuses)
+
+    @property
+    def num_violated(self) -> int:
+        """Regions with at least one concrete counterexample."""
+        return sum(status is RegionStatus.VIOLATED for status in self.region_statuses)
+
+    @property
+    def num_unknown(self) -> int:
+        """Regions with no violation found but no proof either."""
+        return sum(status is RegionStatus.UNKNOWN for status in self.region_statuses)
+
+    @property
+    def certified(self) -> bool:
+        """Whether *every* region was proven free of violations."""
+        return self.num_regions > 0 and self.num_certified == self.num_regions
+
+    @property
+    def clean(self) -> bool:
+        """Whether no region was found violated (weaker than :attr:`certified`)."""
+        return self.num_violated == 0
+
+    @property
+    def max_margin(self) -> float:
+        """Largest margin observed across all regions (-inf for an empty report)."""
+        return max(self.region_margins, default=float("-inf"))
+
+    def as_dict(self) -> dict:
+        """A JSON-ready summary (statuses and counts, not the raw points)."""
+        return {
+            "verifier": self.verifier,
+            "num_regions": self.num_regions,
+            "num_certified": self.num_certified,
+            "num_violated": self.num_violated,
+            "num_unknown": self.num_unknown,
+            "certified": self.certified,
+            "num_counterexamples": len(self.counterexamples),
+            "points_checked": self.points_checked,
+            "linear_regions_checked": self.linear_regions_checked,
+            "max_margin": self.max_margin,
+            "seconds": self.seconds,
+        }
+
+
+class Verifier(abc.ABC):
+    """Common interface of the violation-search implementations."""
+
+    #: Short name used in reports and driver round records.
+    name: str = "base"
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        self.tolerance = float(tolerance)
+
+    @abc.abstractmethod
+    def verify(
+        self, network: Network | DecoupledNetwork, spec: VerificationSpec
+    ) -> VerificationReport:
+        """Search ``spec``'s regions for violations by ``network``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _evaluate(
+        network: Network | DecoupledNetwork,
+        points: np.ndarray,
+        activation_point: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Batched network outputs, optionally under a pinned activation point."""
+        points = np.atleast_2d(points)
+        if isinstance(network, DecoupledNetwork) and activation_point is not None:
+            activations = np.broadcast_to(activation_point, points.shape)
+            return np.atleast_2d(network.compute(points, np.ascontiguousarray(activations)))
+        return np.atleast_2d(network.compute(points))
+
+    def _check_spec(self, network: Network | DecoupledNetwork, spec: VerificationSpec) -> None:
+        """Validate region dimensions against the network's input size."""
+        if spec.num_regions == 0:
+            raise SpecificationError("the verification specification has no regions")
+        for index, entry in enumerate(spec.regions):
+            dimension = _region_dimension(entry.region)
+            if dimension != network.input_size:
+                raise SpecificationError(
+                    f"region {index} has input dimension {dimension}, "
+                    f"network expects {network.input_size}"
+                )
+            if entry.constraint.output_dimension != network.output_size:
+                raise SpecificationError(
+                    f"region {index}'s constraint is over dimension "
+                    f"{entry.constraint.output_dimension}, network outputs "
+                    f"{network.output_size}"
+                )
+
+
+def _region_dimension(region: InputRegion) -> int:
+    if isinstance(region, LineSegment):
+        return region.dimension
+    if isinstance(region, Box):
+        return region.dimension
+    return np.atleast_2d(np.asarray(region)).shape[1]

@@ -1,0 +1,205 @@
+"""The exact verifier: certification via linear-region decomposition.
+
+Within one linear region of a piecewise-linear network, the output is an
+affine function of the input, so the largest violation of an output
+half-space constraint over the region is attained at one of the region's
+vertices.  Decomposing a specification region into linear regions
+(``transform_line``/``transform_plane`` — the SyReNN substrate) and checking
+every linear region's vertices therefore either *certifies* the region or
+produces a true counterexample, with nothing in between.
+
+For Decoupled DNNs the decomposition runs on the **activation channel**
+(value-channel edits never move linear-region boundaries — Theorem 4.6), and
+each vertex is evaluated with the region's interior point pinned as the
+activation point, because the DDNN's value channel may be discontinuous
+across region boundaries.  Since the activation channel is unchanged by
+repair, the decomposition of each specification region is cached across the
+repeated verification rounds of a repair driver.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.nn.network import Network
+from repro.polytope.segment import LineSegment
+from repro.syrenn.line import transform_line
+from repro.syrenn.plane import transform_plane
+from repro.verify.base import (
+    DEFAULT_TOLERANCE,
+    Box,
+    Counterexample,
+    RegionStatus,
+    VerificationReport,
+    VerificationSpec,
+    Verifier,
+)
+
+
+@dataclass
+class _LinearRegion:
+    """One linear region of a specification region: its vertices and interior."""
+
+    vertices: np.ndarray
+    interior: np.ndarray
+
+
+class SyrennVerifier(Verifier):
+    """Exact verification of line/plane regions via SyReNN decompositions.
+
+    Boxes with at most two varying dimensions are converted to the
+    equivalent point/segment/rectangle and verified exactly; boxes varying
+    in three or more dimensions are beyond the 1-D/2-D SyReNN substrate and
+    are reported ``UNKNOWN``.
+    """
+
+    name = "syrenn"
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE, cache_partitions: bool = True) -> None:
+        super().__init__(tolerance)
+        self.cache_partitions = cache_partitions
+        self._cache: dict[tuple, list[_LinearRegion]] = {}
+
+    def verify(
+        self, network: Network | DecoupledNetwork, spec: VerificationSpec
+    ) -> VerificationReport:
+        """Certify each region or return counterexamples at region vertices."""
+        self._check_spec(network, spec)
+        start = time.perf_counter()
+        activation_network = (
+            network.activation if isinstance(network, DecoupledNetwork) else network
+        )
+        fingerprint = _network_fingerprint(activation_network) if self.cache_partitions else None
+
+        statuses: list[RegionStatus] = []
+        margins: list[float] = []
+        counterexamples: list[Counterexample] = []
+        points_checked = 0
+        linear_regions_checked = 0
+        for region_index, entry in enumerate(spec.regions):
+            region = _normalize_region(entry.region)
+            if region is None:  # a box the 1-D/2-D substrate cannot decompose
+                statuses.append(RegionStatus.UNKNOWN)
+                margins.append(float("-inf"))
+                continue
+            linear_regions = self._decompose(
+                activation_network, region, (_region_digest(region), fingerprint)
+            )
+            linear_regions_checked += len(linear_regions)
+            region_margin = float("-inf")
+            region_violated = False
+            for linear_region in linear_regions:
+                points_checked += linear_region.vertices.shape[0]
+                outputs = self._evaluate(network, linear_region.vertices, linear_region.interior)
+                vertex_margins = entry.constraint.violation_batch(outputs)
+                region_margin = max(region_margin, float(np.max(vertex_margins)))
+                for vertex_index in np.where(vertex_margins > self.tolerance)[0]:
+                    region_violated = True
+                    counterexamples.append(
+                        Counterexample(
+                            point=linear_region.vertices[vertex_index].copy(),
+                            constraint=entry.constraint,
+                            margin=float(vertex_margins[vertex_index]),
+                            region_index=region_index,
+                            activation_point=linear_region.interior.copy(),
+                        )
+                    )
+            statuses.append(
+                RegionStatus.VIOLATED if region_violated else RegionStatus.CERTIFIED
+            )
+            margins.append(region_margin)
+        return VerificationReport(
+            verifier=self.name,
+            region_statuses=statuses,
+            region_margins=margins,
+            counterexamples=counterexamples,
+            points_checked=points_checked,
+            linear_regions_checked=linear_regions_checked,
+            seconds=time.perf_counter() - start,
+        )
+
+    def _decompose(
+        self, activation_network: Network, region, cache_key: tuple
+    ) -> list[_LinearRegion]:
+        if self.cache_partitions and cache_key in self._cache:
+            return self._cache[cache_key]
+        if isinstance(region, LineSegment):
+            partition = transform_line(activation_network, region)
+            linear_regions = [
+                _LinearRegion(vertices=piece.vertices, interior=piece.interior_point)
+                for piece in partition.regions
+            ]
+        elif isinstance(region, np.ndarray) and region.ndim == 1:
+            # A fully degenerate box: a single point is its own linear region.
+            linear_regions = [_LinearRegion(vertices=region[None, :], interior=region)]
+        else:
+            partition = transform_plane(activation_network, region)
+            linear_regions = [
+                _LinearRegion(vertices=piece.input_vertices, interior=piece.interior_point)
+                for piece in partition.regions
+            ]
+        if self.cache_partitions:
+            self._cache[cache_key] = linear_regions
+        return linear_regions
+
+
+def _region_digest(region: LineSegment | np.ndarray) -> str:
+    """A digest of a (normalized) region's geometry, for partition-cache keying.
+
+    Keying the cache on the geometry itself (rather than spec/region object
+    identity) keeps it correct across garbage-collected specs, in-place spec
+    edits, and re-built-but-identical specs — the last being the common case
+    in a repair driver, where every round re-verifies the same regions.
+    """
+    digest = hashlib.sha256()
+    if isinstance(region, LineSegment):
+        digest.update(b"segment")
+        digest.update(region.start.tobytes())
+        digest.update(region.end.tobytes())
+    else:
+        digest.update(b"vertices")
+        digest.update(np.ascontiguousarray(region).tobytes())
+    return digest.hexdigest()[:24]
+
+
+def _normalize_region(region) -> LineSegment | np.ndarray | None:
+    """Map a spec region onto what the SyReNN substrate can decompose.
+
+    Returns a :class:`LineSegment`, a plane-vertex array, a single point
+    (1-D array, for fully degenerate boxes), or ``None`` when the region is
+    a box varying in three or more dimensions.
+    """
+    if isinstance(region, LineSegment):
+        return region
+    if isinstance(region, Box):
+        varying = region.varying_dimensions()
+        if varying.size == 0:
+            return region.lower.copy()
+        if varying.size == 1:
+            end = region.lower.copy()
+            end[varying[0]] = region.upper[varying[0]]
+            return LineSegment(region.lower, end)
+        if varying.size == 2:
+            corners = []
+            for corner in ((0, 0), (1, 0), (1, 1), (0, 1)):
+                point = region.lower.copy()
+                for position, dim in enumerate(varying):
+                    point[dim] = region.upper[dim] if corner[position] else region.lower[dim]
+                corners.append(point)
+            return np.array(corners)
+        return None
+    return np.atleast_2d(np.asarray(region, dtype=np.float64))
+
+
+def _network_fingerprint(network: Network) -> str:
+    """A digest of the network's parameters, for partition-cache keying."""
+    digest = hashlib.sha256()
+    for index, flat in sorted(network.get_all_parameters().items()):
+        digest.update(str(index).encode())
+        digest.update(np.ascontiguousarray(flat).tobytes())
+    return digest.hexdigest()[:16]

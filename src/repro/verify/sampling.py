@@ -1,0 +1,197 @@
+"""Sampling-based verifiers: dense grids and seeded Monte-Carlo.
+
+Both verifiers evaluate the network on finitely many points of each region
+and report any point whose output violates the region's constraint.  Neither
+can *certify* a region — a clean sweep only upgrades the region to
+``UNKNOWN`` — but they are fast, work on arbitrary-dimensional boxes (which
+the exact verifier cannot decompose), and in practice find the same
+violations the exact verifier proves.
+
+The hot path is fully batched: all sample points of a region go through the
+network in one forward pass and through
+:meth:`repro.polytope.hpolytope.HPolytope.violation_batch` in one matmul.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.nn.network import Network
+from repro.polytope.segment import LineSegment
+from repro.utils.rng import ensure_rng
+from repro.verify.base import (
+    DEFAULT_TOLERANCE,
+    Box,
+    Counterexample,
+    RegionStatus,
+    VerificationReport,
+    VerificationSpec,
+    Verifier,
+)
+
+
+class _SamplingVerifier(Verifier):
+    """Shared verify() skeleton: subclasses only choose the sample points."""
+
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_counterexamples_per_region: int | None = 32,
+    ) -> None:
+        super().__init__(tolerance)
+        self.max_counterexamples_per_region = max_counterexamples_per_region
+
+    def _sample_region(self, region) -> np.ndarray:
+        raise NotImplementedError
+
+    def verify(
+        self, network: Network | DecoupledNetwork, spec: VerificationSpec
+    ) -> VerificationReport:
+        """Evaluate sampled points per region; report violations, never certify."""
+        self._check_spec(network, spec)
+        start = time.perf_counter()
+        statuses: list[RegionStatus] = []
+        margins: list[float] = []
+        counterexamples: list[Counterexample] = []
+        points_checked = 0
+        for region_index, entry in enumerate(spec.regions):
+            points = self._sample_region(entry.region)
+            points_checked += points.shape[0]
+            outputs = self._evaluate(network, points)
+            point_margins = entry.constraint.violation_batch(outputs)
+            margins.append(float(np.max(point_margins)))
+            violating = np.where(point_margins > self.tolerance)[0]
+            if violating.size == 0:
+                statuses.append(RegionStatus.UNKNOWN)
+                continue
+            statuses.append(RegionStatus.VIOLATED)
+            # Keep the worst offenders first; cap to keep reports small.
+            order = violating[np.argsort(-point_margins[violating])]
+            if self.max_counterexamples_per_region is not None:
+                order = order[: self.max_counterexamples_per_region]
+            counterexamples.extend(
+                Counterexample(
+                    point=points[index].copy(),
+                    constraint=entry.constraint,
+                    margin=float(point_margins[index]),
+                    region_index=region_index,
+                )
+                for index in order
+            )
+        return VerificationReport(
+            verifier=self.name,
+            region_statuses=statuses,
+            region_margins=margins,
+            counterexamples=counterexamples,
+            points_checked=points_checked,
+            seconds=time.perf_counter() - start,
+        )
+
+
+class GridVerifier(_SamplingVerifier):
+    """Dense deterministic sweep over each region.
+
+    Segments get ``resolution`` equally spaced points; planar polygons get a
+    barycentric grid of roughly ``resolution²/2`` points per fan triangle;
+    boxes get an axis-aligned lattice capped at ``max_points_per_region``
+    total points (the per-axis count shrinks with the number of varying
+    dimensions, so high-dimensional boxes stay tractable).
+    """
+
+    name = "grid"
+
+    def __init__(
+        self,
+        resolution: int = 16,
+        *,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_points_per_region: int = 4096,
+        max_counterexamples_per_region: int | None = 32,
+    ) -> None:
+        super().__init__(tolerance, max_counterexamples_per_region)
+        if resolution < 2:
+            raise ValueError("grid resolution must be at least 2")
+        self.resolution = int(resolution)
+        self.max_points_per_region = int(max_points_per_region)
+
+    def _sample_region(self, region) -> np.ndarray:
+        if isinstance(region, LineSegment):
+            return region.points_at(np.linspace(0.0, 1.0, self.resolution))
+        if isinstance(region, Box):
+            return _box_lattice(region, self.resolution, self.max_points_per_region)
+        return _polygon_grid(np.atleast_2d(np.asarray(region)), self.resolution)
+
+
+class RandomVerifier(_SamplingVerifier):
+    """Seeded Monte-Carlo search with per-point margin tracking.
+
+    Each call draws fresh samples from the verifier's generator, so repeated
+    rounds of a repair driver probe different points while the whole run
+    stays reproducible from the seed.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        num_samples: int = 256,
+        seed: int | np.random.Generator | None = 0,
+        *,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_counterexamples_per_region: int | None = 32,
+    ) -> None:
+        super().__init__(tolerance, max_counterexamples_per_region)
+        if num_samples < 1:
+            raise ValueError("num_samples must be positive")
+        self.num_samples = int(num_samples)
+        self._rng = ensure_rng(seed)
+
+    def _sample_region(self, region) -> np.ndarray:
+        if isinstance(region, LineSegment):
+            return region.sample(self.num_samples, self._rng)
+        if isinstance(region, Box):
+            return self._rng.uniform(
+                region.lower, region.upper, size=(self.num_samples, region.dimension)
+            )
+        vertices = np.atleast_2d(np.asarray(region))
+        weights = self._rng.dirichlet(np.ones(vertices.shape[0]), size=self.num_samples)
+        return weights @ vertices
+
+
+def _box_lattice(box: Box, resolution: int, max_points: int) -> np.ndarray:
+    """An axis-aligned lattice over the box's varying dimensions."""
+    varying = box.varying_dimensions()
+    if varying.size == 0:
+        return box.lower[None, :].copy()
+    # Cap the total lattice size by shrinking the per-axis count.
+    per_axis = min(resolution, max(2, int(max_points ** (1.0 / varying.size))))
+    axes = [np.linspace(box.lower[dim], box.upper[dim], per_axis) for dim in varying]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    points = np.broadcast_to(box.lower, (mesh[0].size, box.dimension)).copy()
+    for position, dim in enumerate(varying):
+        points[:, dim] = mesh[position].ravel()
+    return points
+
+
+def _polygon_grid(vertices: np.ndarray, resolution: int) -> np.ndarray:
+    """A barycentric grid over a convex polygon, triangulated as a fan.
+
+    Fan triangle ``i`` is ``(v0, vi, vi+1)``; it shares the edge
+    ``(v0, vi)`` — the points with zero weight on ``vi+1`` — with triangle
+    ``i-1``, so those points are dropped from every triangle after the
+    first to avoid evaluating the network twice on the same inputs.
+    """
+    steps = np.linspace(0.0, 1.0, resolution)
+    full = np.array(
+        [(1.0 - u - v, u, v) for u in steps for v in steps if u + v <= 1.0 + 1e-12]
+    )
+    interior = full[full[:, 2] > 1e-12]
+    points = []
+    for second in range(1, vertices.shape[0] - 1):
+        triangle = np.stack([vertices[0], vertices[second], vertices[second + 1]])
+        weights = full if second == 1 else interior
+        points.append(weights @ triangle)
+    return np.vstack(points)

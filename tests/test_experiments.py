@@ -226,3 +226,32 @@ class TestTask3Integration:
         if record["feasible"]:
             assert record["efficacy"] == 100.0
             assert record["drawdown"] <= 5.0
+
+    def test_driver_slice_repair_certifies(self, shared_zoo):
+        from repro.experiments.task3_acas import driver_slice_repair, setup_task3
+
+        # Seed 2 is known to train a network that violates the property on
+        # some slices at this budget (seed 0 happens to train a clean one).
+        setup = setup_task3(
+            shared_zoo,
+            num_slices=2,
+            candidate_slices=40,
+            samples_per_slice=36,
+            evaluation_points=500,
+            train_size=1500,
+            epochs=20,
+            seed=2,
+        )
+        if not setup.repair_slices:
+            pytest.skip("the trained network happened to satisfy the property everywhere")
+        record, report = driver_slice_repair(setup, norm="l1", max_rounds=6)
+        assert record["status"] == "certified"
+        assert record["certified"]
+        assert record["remaining_violations"] == 0
+        # The final verification pass certified every strengthened region.
+        assert report.final_report.certified
+        # Differential: the repaired network satisfies the whole pool.
+        assert report.unsatisfied_pool_indices == []
+        assert record["efficacy"] == 100.0
+        assert record["rounds"] >= 1
+        assert record["time_total"] > 0.0

@@ -214,6 +214,28 @@ class TestHPolytope:
                 HPolytope.from_interval(3, 0, 0.0, 1.0)
             )
 
+    def test_contains_batch_matches_scalar(self, rng):
+        region = HPolytope.argmax_region(4, winner=2, margin=0.05)
+        points = rng.normal(size=(50, 4))
+        mask = region.contains_batch(points)
+        assert mask.shape == (50,)
+        for point, flag in zip(points, mask):
+            assert flag == region.contains(point)
+
+    def test_violation_batch_matches_scalar(self, rng):
+        box = HPolytope.from_interval(3, 1, -0.5, 0.5)
+        points = rng.normal(size=(40, 3))
+        margins = box.violation_batch(points)
+        for point, margin in zip(points, margins):
+            assert margin == pytest.approx(box.violation(point))
+
+    def test_batch_shape_validation(self):
+        box = HPolytope.from_interval(2, 0, 0.0, 1.0)
+        with pytest.raises(ShapeError):
+            box.contains_batch(np.zeros((3, 5)))
+        with pytest.raises(ShapeError):
+            box.violation_batch(np.zeros((3, 5)))
+
     @settings(max_examples=25, deadline=None)
     @given(seed=st.integers(0, 5000), winner=st.integers(0, 4))
     def test_argmax_region_matches_argmax(self, seed, winner):

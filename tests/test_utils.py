@@ -9,7 +9,12 @@ import pytest
 
 from repro.exceptions import ShapeError
 from repro.utils.rng import ensure_rng, spawn_rngs
-from repro.utils.serialization import config_digest, load_arrays, save_arrays
+from repro.utils.serialization import (
+    config_digest,
+    default_cache_dir,
+    load_arrays,
+    save_arrays,
+)
 from repro.utils.timing import Stopwatch, TimeBudget
 from repro.utils.validation import (
     check_finite,
@@ -127,6 +132,16 @@ class TestStopwatch:
         watch.add("x", 1e9)  # more than elapsed
         assert watch.other() == 0.0
 
+    def test_other_accounts_unattributed_time(self):
+        watch = Stopwatch()
+        with watch.phase("a"):
+            time.sleep(0.01)
+        time.sleep(0.02)  # unattributed
+        unattributed = watch.other()
+        assert unattributed >= 0.015
+        # other() is elapsed-minus-phases, so it can never exceed elapsed().
+        assert unattributed <= watch.elapsed()
+
 
 class TestTimeBudget:
     def test_unlimited_budget_never_exhausts(self):
@@ -138,6 +153,20 @@ class TestTimeBudget:
         budget = TimeBudget(0.0)
         assert budget.exhausted()
         assert budget.remaining() == 0.0
+
+    def test_budget_exhausts_after_elapsing(self):
+        budget = TimeBudget(0.02)
+        assert not budget.exhausted()
+        time.sleep(0.03)
+        assert budget.exhausted()
+        assert budget.remaining() == 0.0
+
+    def test_remaining_decreases_monotonically(self):
+        budget = TimeBudget(10.0)
+        first = budget.remaining()
+        time.sleep(0.01)
+        second = budget.remaining()
+        assert second < first <= 10.0
 
 
 class TestSerialization:
@@ -154,3 +183,40 @@ class TestSerialization:
         loaded = load_arrays(path)
         assert set(loaded) == {"w", "b"}
         np.testing.assert_array_equal(loaded["w"], arrays["w"])
+
+    def test_roundtrip_preserves_dtype_and_shape(self, tmp_path):
+        arrays = {"ints": np.arange(4), "floats": np.linspace(0, 1, 5)}
+        path = tmp_path / "arrays.npz"
+        save_arrays(path, arrays)
+        loaded = load_arrays(path)
+        assert loaded["ints"].dtype == arrays["ints"].dtype
+        assert loaded["floats"].shape == (5,)
+
+    def test_config_digest_handles_non_json_values(self):
+        # Paths and tuples go through the default=str fallback deterministically.
+        from pathlib import Path
+
+        first = config_digest({"path": Path("/tmp/x"), "size": (3, 4)})
+        second = config_digest({"size": (3, 4), "path": Path("/tmp/x")})
+        assert first == second
+        assert len(first) == 16
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom-cache"))
+        assert default_cache_dir() == tmp_path / "custom-cache"
+
+    def test_default_cache_dir_without_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        path = default_cache_dir()
+        assert path.name == "repro-prdnn"
+        assert path.is_absolute()
+
+    def test_cache_dir_override_reaches_model_zoo(self, monkeypatch, tmp_path):
+        # The driver checkpoints and the zoo cache must both respect the
+        # override so CI sandboxes never write to $HOME.
+        from repro.models.zoo import ModelZoo
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "zoo"))
+        zoo = ModelZoo()
+        path = zoo._cache_path("unit", {"a": 1})
+        assert path.parent == tmp_path / "zoo"
