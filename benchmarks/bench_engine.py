@@ -1,0 +1,248 @@
+"""Execution-engine benchmark: parallel + cached verification vs. serial.
+
+Builds a multi-region ACAS-style verification workload — ``--slices`` 2-D
+slices of the φ8 property box, each of which must map into its strengthened
+safe-advisory polytope — and measures four ways of running the exact
+verifier end to end (SyReNN decomposition + vertex checks):
+
+* **serial** — today's single-process :class:`SyrennVerifier`, no caching;
+* **engine_cold** — the :class:`ShardedSyrennEngine` with ``--workers``
+  processes and an empty partition cache (pool startup reported
+  separately);
+* **engine_warm** — a second pass on the same engine: every decomposition
+  served by the in-memory LRU tier;
+* **disk_reuse** — a fresh engine over the same cache directory, modelling
+  a second process reusing the disk tier.
+
+All four scenarios must agree on every region verdict (the benchmark
+asserts it — the engine's merge order is deterministic), so the timings
+compare identical work.  Results are written as JSON (default
+``BENCH_engine.json``) with the same report shape as
+``bench_lp_scaling.py`` so CI can archive the perf trajectory.  The report
+records ``cpu_count``: the parallel speedup is hardware-bound (a 1-core
+runner shows ~1x cold; the cache tiers still multiply repeated rounds).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py                 # full sweep
+    PYTHONPATH=src python benchmarks/bench_engine.py --tiny          # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datasets.acas import phi8_property
+from repro.engine import PartitionCache, ShardedSyrennEngine
+from repro.experiments.task3_acas import safe_advisory_constraint
+from repro.models.acas_models import build_acas_network
+from repro.utils.rng import ensure_rng
+from repro.verify import SyrennVerifier, VerificationSpec
+
+
+def build_workload(
+    num_slices: int, hidden_size: int, hidden_layers: int, seed: int
+) -> tuple:
+    """An advisory network plus a φ8 slice spec with one region per slice."""
+    network = build_acas_network(
+        hidden_size=hidden_size, hidden_layers=hidden_layers, seed=seed
+    )
+    safety_property = phi8_property()
+    rng = ensure_rng(seed)
+    spec = VerificationSpec()
+    allowed = safety_property.allowed
+    for index in range(num_slices):
+        vertices = safety_property.random_slice(rng)
+        scores = network.compute(vertices.mean(axis=0))
+        winner = max(allowed, key=lambda advisory: scores[advisory])
+        spec.add_plane(
+            vertices,
+            safe_advisory_constraint(network.output_size, winner, allowed),
+            name=f"slice{index}",
+        )
+    return network, spec
+
+
+def timed_verify(verifier, network, spec) -> tuple[dict, list]:
+    start = time.perf_counter()
+    report = verifier.verify(network, spec)
+    total = time.perf_counter() - start
+    record = {
+        "total_seconds": total,
+        "linear_regions": report.linear_regions_checked,
+        "points_checked": report.points_checked,
+        "num_violated": report.num_violated,
+    }
+    return record, report.region_statuses
+
+
+def run_record(
+    network, spec, *, workers: int, shards: int, cache_dir: Path
+) -> dict:
+    """Time the four scenarios on one workload and cross-check verdicts."""
+    serial, baseline_statuses = timed_verify(
+        SyrennVerifier(cache_partitions=False), network, spec
+    )
+
+    engine = ShardedSyrennEngine(
+        workers=workers,
+        shards_per_region=shards,
+        cache=PartitionCache(directory=cache_dir),
+    )
+    start = time.perf_counter()
+    if workers > 1:
+        engine._ensure_pool()
+    pool_startup = time.perf_counter() - start
+    verifier = SyrennVerifier(engine=engine)
+    engine_cold, cold_statuses = timed_verify(verifier, network, spec)
+    engine_cold["pool_startup_seconds"] = pool_startup
+    engine_warm, warm_statuses = timed_verify(verifier, network, spec)
+    cache_stats = engine.cache.as_dict()
+    engine.close()
+
+    reuse_engine = ShardedSyrennEngine(
+        workers=1, shards_per_region=shards, cache=PartitionCache(directory=cache_dir)
+    )
+    disk_reuse, disk_statuses = timed_verify(
+        SyrennVerifier(engine=reuse_engine), network, spec
+    )
+
+    for name, statuses in (
+        ("engine_cold", cold_statuses),
+        ("engine_warm", warm_statuses),
+        ("disk_reuse", disk_statuses),
+    ):
+        if statuses != baseline_statuses:
+            raise AssertionError(f"scenario {name} disagrees with the serial verdicts")
+
+    def speedup(record: dict) -> float:
+        return serial["total_seconds"] / max(record["total_seconds"], 1e-12)
+
+    return {
+        "regions": spec.num_regions,
+        "serial": serial,
+        "engine_cold": engine_cold,
+        "engine_warm": engine_warm,
+        "disk_reuse": disk_reuse,
+        "parallel_speedup": speedup(engine_cold),
+        "warm_speedup": speedup(engine_warm),
+        "disk_speedup": speedup(disk_reuse),
+        "cache": cache_stats,
+    }
+
+
+def run_benchmark(
+    slice_counts: list[int],
+    *,
+    workers: int,
+    shards: int,
+    hidden_size: int,
+    hidden_layers: int,
+    seed: int,
+) -> dict:
+    """Run the serial-vs-engine sweep and return the JSON-ready report."""
+    records = []
+    with tempfile.TemporaryDirectory(prefix="bench-engine-cache-") as cache_root:
+        for num_slices in slice_counts:
+            network, spec = build_workload(num_slices, hidden_size, hidden_layers, seed)
+            record = run_record(
+                network,
+                spec,
+                workers=workers,
+                shards=shards,
+                cache_dir=Path(cache_root) / f"slices{num_slices}",
+            )
+            record["num_slices"] = num_slices
+            records.append(record)
+            print(
+                f"slices={num_slices:>3}  regions={record['regions']:>4}  "
+                f"serial={record['serial']['total_seconds']:.3f}s  "
+                f"parallel={record['engine_cold']['total_seconds']:.3f}s "
+                f"({record['parallel_speedup']:.1f}x)  "
+                f"warm={record['engine_warm']['total_seconds']:.3f}s "
+                f"({record['warm_speedup']:.1f}x)  "
+                f"disk={record['disk_reuse']['total_seconds']:.3f}s "
+                f"({record['disk_speedup']:.1f}x)"
+            )
+    return {
+        "benchmark": "engine",
+        "network": {
+            "hidden_size": hidden_size,
+            "hidden_layers": hidden_layers,
+            "input_size": 5,
+        },
+        "workers": workers,
+        "shards_per_region": shards,
+        "cpu_count": os.cpu_count(),
+        "seed": seed,
+        "python": platform.python_version(),
+        "results": records,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # Sized flags default to None (a sentinel) so --tiny can fill in only the
+    # values the user did not pass explicitly.
+    parser.add_argument(
+        "--slices",
+        type=int,
+        nargs="+",
+        default=None,
+        help="φ8 slice counts to sweep (default: 4 8 16; 4 with --tiny)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="engine worker processes (default: 4; 2 with --tiny)",
+    )
+    parser.add_argument("--shards", type=int, default=1, help="geometry shards per region")
+    parser.add_argument(
+        "--hidden", type=int, default=None, help="hidden layer width (default: 24; 8 with --tiny)"
+    )
+    parser.add_argument(
+        "--layers", type=int, default=None, help="hidden layer count (default: 6; 2 with --tiny)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="CI smoke: one small workload, a 2-worker pool, a tiny network "
+        "(explicitly passed flags still win)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_engine.json"),
+        help="where to write the JSON report (default: BENCH_engine.json)",
+    )
+    args = parser.parse_args()
+    defaults = (
+        {"slices": [4], "workers": 2, "hidden": 8, "layers": 2}
+        if args.tiny
+        else {"slices": [4, 8, 16], "workers": 4, "hidden": 24, "layers": 6}
+    )
+    for name, value in defaults.items():
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+    report = run_benchmark(
+        args.slices,
+        workers=args.workers,
+        shards=args.shards,
+        hidden_size=args.hidden,
+        hidden_layers=args.layers,
+        seed=args.seed,
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

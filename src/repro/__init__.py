@@ -31,6 +31,9 @@ The package is organized as:
 ``repro.driver``
     The counterexample-guided (CEGIS) repair driver that closes the loop
     between verification and repair.
+``repro.engine``
+    The parallel execution engine: sharded SyReNN decomposition across a
+    worker pool, priority job scheduling, and a two-tier partition cache.
 ``repro.datasets``, ``repro.models``
     Synthetic stand-ins for the paper's three evaluation tasks.
 ``repro.baselines``
@@ -73,8 +76,9 @@ from repro.verify import (
     Verifier,
 )
 from repro.driver import CounterexamplePool, DriverReport, RepairDriver
+from repro.engine import JobScheduler, PartitionCache, ShardedSyrennEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Network",
@@ -109,5 +113,8 @@ __all__ = [
     "CounterexamplePool",
     "RepairDriver",
     "DriverReport",
+    "ShardedSyrennEngine",
+    "PartitionCache",
+    "JobScheduler",
     "__version__",
 ]

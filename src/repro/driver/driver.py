@@ -116,6 +116,7 @@ class DriverReport:
     counterexamples_found: int = 0
     unsatisfied_pool_indices: list[int] = field(default_factory=list)
     timing: DriverTiming = field(default_factory=DriverTiming)
+    engine_stats: dict | None = None
 
     @property
     def num_rounds(self) -> int:
@@ -142,6 +143,7 @@ class DriverReport:
             ),
             "rounds": [record.as_dict() for record in self.rounds],
             "timing": self.timing.as_dict(),
+            **({"engine": self.engine_stats} if self.engine_stats is not None else {}),
         }
 
 
@@ -176,6 +178,12 @@ class RepairDriver:
     checkpoint_path:
         When given, the pool is checkpointed here after every verification
         and reloaded (resume) if the file already exists at start.
+    engine:
+        Optional :class:`repro.engine.ShardedSyrennEngine`.  When given, it
+        is attached to the verifier (if the verifier supports one and has
+        none yet) so every round's verification runs through the engine's
+        worker pool and partition cache, and the engine's scheduler/cache
+        statistics are included in the final :class:`DriverReport`.
     norm, backend, delta_bound, batched, sparse:
         Forwarded to :func:`repro.core.point_repair.point_repair`.
     """
@@ -193,6 +201,7 @@ class RepairDriver:
         holdout: tuple | None = None,
         checkpoint_path: str | Path | None = None,
         pool: CounterexamplePool | None = None,
+        engine=None,
         norm: str = "linf",
         backend: str | None = None,
         delta_bound: float | None = None,
@@ -209,6 +218,7 @@ class RepairDriver:
         self.buggy = network
         self.spec = spec
         self.verifier = verifier
+        self.engine = engine
         self.layer_schedule = (
             list(layer_schedule)
             if layer_schedule is not None
@@ -235,7 +245,27 @@ class RepairDriver:
 
     # ------------------------------------------------------------------
     def run(self) -> DriverReport:
-        """Execute the CEGIS loop and return the final report."""
+        """Execute the CEGIS loop and return the final report.
+
+        A driver-level ``engine`` is attached to the verifier for the
+        duration of the run only (and only if the verifier supports one and
+        has none of its own), so a caller-owned verifier is never left
+        mutated.  The reported ``engine_stats`` always describe the engine
+        the verification actually ran through.
+        """
+        attach = (
+            self.engine is not None
+            and getattr(self.verifier, "engine", False) is None
+        )
+        if attach:
+            self.verifier.engine = self.engine
+        try:
+            return self._run()
+        finally:
+            if attach:
+                self.verifier.engine = None
+
+    def _run(self) -> DriverReport:
         budget = TimeBudget(self.budget_seconds)
         watch = Stopwatch()
         timing = DriverTiming()
@@ -349,7 +379,18 @@ class RepairDriver:
                 self.pool.unsatisfied(current) if len(self.pool) else []
             ),
             timing=timing,
+            engine_stats=self._engine_stats(),
         )
+
+    def _engine_stats(self) -> dict | None:
+        """Stats of the engine verification actually ran through.
+
+        While a run is in flight, a driver-level engine is visible as
+        ``verifier.engine``; a verifier that cannot hold an engine means no
+        engine was used, so no stats are reported — even if one was passed.
+        """
+        active = getattr(self.verifier, "engine", None)
+        return active.stats() if active is not None else None
 
 
 def _accumulate(total: RepairTiming, part: RepairTiming) -> None:

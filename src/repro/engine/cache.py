@@ -1,0 +1,238 @@
+"""The two-tier partition cache of the execution engine.
+
+SyReNN decompositions are the dominant cost of exact verification, and the
+repair driver recomputes them constantly: every round re-verifies the same
+regions, and the DDNN's activation channel — the network the decomposition
+depends on — never changes under value-channel repair (Theorem 4.6).  The
+:class:`PartitionCache` therefore keys decomposition payloads by
+``(network fingerprint, geometry digest)`` and stores them in two tiers:
+
+* an in-memory LRU dictionary, bounded by ``max_entries``, for the repeated
+  rounds of a single driver run;
+* an optional disk tier of ``.npz`` files under ``REPRO_CACHE_DIR`` (the
+  same root the model zoo and counterexample checkpoints use), which
+  survives process restarts and is shared by concurrent workers.
+
+Payloads are flat ``name → array`` dictionaries (whatever
+:func:`repro.utils.serialization.save_arrays` can persist); the engine owns
+the encoding of line/plane partitions into payloads.  Hit, miss, and
+eviction counters are kept per tier and surfaced through
+:meth:`PartitionCache.stats` so benchmark and driver reports can show where
+decomposition time actually went.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zipfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.serialization import default_cache_dir, load_arrays, save_arrays
+
+#: A cache key: (network fingerprint, geometry digest).
+CacheKey = tuple[str, str]
+
+
+class BoundedLru:
+    """A small bounded LRU mapping shared by every engine-side cache.
+
+    One implementation keeps the eviction policy consistent between the
+    partition cache's memory tier, the parent's encoded-network payloads,
+    and the worker-side decoded-network cache.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        """The stored value (refreshed as most-recently-used), or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> int:
+        """Insert/refresh an entry; returns how many entries were evicted."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evictions = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            evictions += 1
+        return evictions
+
+    def keys(self) -> list:
+        """Keys, least-recently-used first."""
+        return list(self._entries.keys())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class TierStats:
+    """Hit/miss/eviction counters for one cache tier."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a JSON-ready dictionary."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class CacheStats:
+    """Per-tier counters of a :class:`PartitionCache`."""
+
+    memory: TierStats = field(default_factory=TierStats)
+    disk: TierStats = field(default_factory=TierStats)
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory.hits + self.disk.hits
+
+    @property
+    def misses(self) -> int:
+        """Full misses (the key was in neither tier)."""
+        return self.disk.misses
+
+    def as_dict(self) -> dict:
+        """The per-tier counters as a JSON-ready dictionary."""
+        return {"memory": self.memory.as_dict(), "disk": self.disk.as_dict()}
+
+
+class PartitionCache:
+    """An in-memory LRU in front of an optional ``REPRO_CACHE_DIR`` disk tier.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the memory tier; the least-recently-used entry is
+        evicted when a put would exceed it.  Entries are small (a few
+        vertex arrays), and a capacity below the working set degrades to
+        disk-tier speed under LRU scan patterns, so the default is sized
+        for specs with a few thousand linear regions.
+    directory:
+        Root of the disk tier.  Defaults to
+        ``<REPRO_CACHE_DIR>/partitions``; pass ``None`` with
+        ``disk=False`` to run memory-only.
+    disk:
+        Whether to read/write the disk tier at all.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        directory: str | Path | None = None,
+        *,
+        disk: bool = True,
+    ) -> None:
+        self.max_entries = int(max_entries)
+        self.disk = bool(disk)
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir() / "partitions"
+        )
+        self._memory: BoundedLru = BoundedLru(max_entries)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._memory or (self.disk and self._disk_path(key).exists())
+
+    def _disk_path(self, key: CacheKey) -> Path:
+        network_hash, geometry_hash = key
+        return self.directory / f"{network_hash}__{geometry_hash}.npz"
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> dict[str, np.ndarray] | None:
+        """Look up a payload, promoting disk hits into the memory tier."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self.stats.memory.hits += 1
+            return payload
+        self.stats.memory.misses += 1
+        if not self.disk:
+            self.stats.disk.misses += 1
+            return None
+        path = self._disk_path(key)
+        if not path.exists():
+            self.stats.disk.misses += 1
+            return None
+        try:
+            payload = load_arrays(path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+            # A corrupt or torn write: treat as a miss and drop the file so
+            # the next put can replace it instead of crashing forever.
+            path.unlink(missing_ok=True)
+            self.stats.disk.misses += 1
+            return None
+        self.stats.disk.hits += 1
+        self._insert_memory(key, payload)
+        return payload
+
+    def put(self, key: CacheKey, payload: dict[str, np.ndarray]) -> None:
+        """Store a payload in both tiers.
+
+        The disk write goes through a temporary file plus an atomic rename,
+        so concurrent readers in other processes never observe a torn file.
+        """
+        self._insert_memory(key, payload)
+        self.stats.memory.puts += 1
+        if self.disk:
+            path = self._disk_path(key)
+            if not path.exists():
+                self.directory.mkdir(parents=True, exist_ok=True)
+                # The suffix must stay ".npz" or np.savez would append one.
+                handle, temp_name = tempfile.mkstemp(
+                    dir=self.directory, suffix=".tmp.npz"
+                )
+                os.close(handle)
+                try:
+                    save_arrays(Path(temp_name), payload)
+                    os.replace(temp_name, path)
+                finally:
+                    if os.path.exists(temp_name):
+                        os.unlink(temp_name)
+                self.stats.disk.puts += 1
+
+    def _insert_memory(self, key: CacheKey, payload: dict[str, np.ndarray]) -> None:
+        self.stats.memory.evictions += self._memory.put(key, payload)
+
+    # ------------------------------------------------------------------
+    def memory_keys(self) -> list[CacheKey]:
+        """Keys of the memory tier, least-recently-used first."""
+        return self._memory.keys()
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (the disk tier is left untouched)."""
+        self._memory.clear()
+
+    def as_dict(self) -> dict:
+        """A JSON-ready summary (tier counters plus configuration)."""
+        return {
+            "max_entries": self.max_entries,
+            "memory_entries": len(self._memory),
+            "disk_enabled": self.disk,
+            **self.stats.as_dict(),
+        }

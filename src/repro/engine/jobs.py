@@ -1,0 +1,232 @@
+"""Priority-queue job scheduling for the execution engine.
+
+The engine's unit of work is a *task*: a picklable description (decompose
+this shard, evaluate these points) that an executor turns into a result.
+The :class:`JobScheduler` sits between callers and the executor: callers
+``submit`` tasks (optionally with a priority), and the scheduler dispatches
+them in priority order, in batches the executor may run across a worker
+pool.  On top of that it provides:
+
+* **cancellation** — a pending :class:`Job` can be cancelled before it is
+  dispatched; gathering a cancelled job raises
+  :class:`~repro.exceptions.JobCancelledError` (or yields ``None`` under
+  ``on_cancelled="none"``);
+* **budget integration** — a :class:`~repro.utils.timing.TimeBudget` is
+  checked before every dispatched batch; once exhausted, everything still
+  pending is cancelled instead of launched;
+* **deterministic ordering** — ties between equal-priority jobs break by
+  submission order, and batch results are returned in dispatch order, so a
+  run's outcome does not depend on worker scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import EngineError, JobCancelledError
+from repro.utils.timing import TimeBudget
+
+#: An executor maps a batch of tasks to their results, preserving order.
+Executor = Callable[[list[Any]], list[Any]]
+
+#: Batch cap applied while a TimeBudget is active (and ``batch_size`` is
+#: unset): the budget is checked between batches, so an unbounded batch
+#: would make it fire at most once, before any work starts.
+BUDGETED_BATCH_SIZE = 32
+
+
+def _run_callables(tasks: list[Any]) -> list[Any]:
+    """The default executor: tasks are zero-argument callables, run inline."""
+    return [task() for task in tasks]
+
+
+@dataclass
+class Job:
+    """One scheduled task with its lifecycle state."""
+
+    task: Any
+    priority: int
+    sequence: int
+    status: str = "pending"  #: ``pending`` | ``done`` | ``cancelled``
+    result: Any = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """Whether the job has a result."""
+        return self.status == "done"
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the job was cancelled before being dispatched."""
+        return self.status == "cancelled"
+
+
+class JobScheduler:
+    """Dispatches submitted jobs to an executor in priority order.
+
+    Parameters
+    ----------
+    executor:
+        Maps a list of tasks to a list of results (same order).  The engine
+        plugs in its worker-pool executor; the default runs zero-argument
+        callables inline, which keeps the scheduler usable standalone.
+    batch_size:
+        Maximum number of jobs dispatched to the executor at once.  ``None``
+        dispatches everything pending in one batch (maximum parallelism);
+        smaller batches give the budget check finer granularity.
+    """
+
+    def __init__(self, executor: Executor | None = None, batch_size: int | None = None) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise EngineError("batch_size must be positive")
+        self._executor = executor if executor is not None else _run_callables
+        self.batch_size = batch_size
+        self._queue: list[tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+        self.jobs_executed = 0
+        self.jobs_cancelled = 0
+        self.batches_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Submission and cancellation
+    # ------------------------------------------------------------------
+    def submit(self, task: Any, priority: int = 0) -> Job:
+        """Queue one task; lower ``priority`` values dispatch first."""
+        job = Job(task=task, priority=priority, sequence=next(self._sequence))
+        heapq.heappush(self._queue, (priority, job.sequence, job))
+        return job
+
+    def submit_many(self, tasks: list[Any], priority: int = 0) -> list[Job]:
+        """Queue several tasks at one priority, in order."""
+        return [self.submit(task, priority) for task in tasks]
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a pending job; returns whether it was still cancellable."""
+        if job.status != "pending":
+            return False
+        job.status = "cancelled"
+        self.jobs_cancelled += 1
+        return True
+
+    def pending(self) -> int:
+        """Number of jobs queued and not yet dispatched or cancelled."""
+        return sum(1 for _, _, job in self._queue if job.status == "pending")
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _next_batch(self, limit: int | None) -> list[Job]:
+        batch: list[Job] = []
+        if limit is None:
+            limit = len(self._queue)
+        while self._queue and len(batch) < limit:
+            _, _, job = heapq.heappop(self._queue)
+            if job.status == "pending":
+                batch.append(job)
+        return batch
+
+    def _cancel_all_pending(self) -> None:
+        while self._queue:
+            _, _, job = heapq.heappop(self._queue)
+            if job.status == "pending":
+                job.status = "cancelled"
+                self.jobs_cancelled += 1
+
+    def drain(self, budget: TimeBudget | None = None) -> Iterator[Job]:
+        """Dispatch queued jobs batch by batch, yielding each as it finishes.
+
+        Jobs are yielded in dispatch order (priority, then submission).  When
+        ``budget`` runs out, jobs not yet dispatched are cancelled and also
+        yielded, carrying ``status == "cancelled"``.  Since the budget is
+        checked between batches, an active budget caps the batch size at
+        :data:`BUDGETED_BATCH_SIZE` (unless ``batch_size`` is tighter) so it
+        can actually interrupt a long queue; without a budget everything
+        pending dispatches as one maximally parallel batch.
+        """
+        limit = self.batch_size
+        if budget is not None:
+            limit = min(limit or BUDGETED_BATCH_SIZE, BUDGETED_BATCH_SIZE)
+        while True:
+            if budget is not None and budget.exhausted():
+                cancelled = [job for _, _, job in self._queue if job.status == "pending"]
+                self._cancel_all_pending()
+                yield from cancelled
+                return
+            batch = self._next_batch(limit)
+            if not batch:
+                return
+            results = self._executor([job.task for job in batch])
+            if len(results) != len(batch):
+                raise EngineError(
+                    f"executor returned {len(results)} results for {len(batch)} tasks"
+                )
+            self.batches_dispatched += 1
+            # Settle the whole batch before yielding anything: a consumer may
+            # abandon the generator mid-batch (gather stops once its own jobs
+            # are done), and co-batched jobs must keep their results.
+            for job, result in zip(batch, results):
+                job.result = result
+                job.status = "done"
+                self.jobs_executed += 1
+            yield from batch
+
+    def gather(
+        self,
+        jobs: list[Job],
+        budget: TimeBudget | None = None,
+        on_cancelled: str = "raise",
+    ) -> list[Any]:
+        """Run until every given job is settled; results in ``jobs`` order.
+
+        Draining stops as soon as the requested jobs are settled — other
+        queued work stays queued for a later drain (though jobs sharing a
+        dispatched batch do execute together).  Cancelled jobs (explicitly,
+        or by budget exhaustion during this gather) raise
+        :class:`JobCancelledError` under the default ``on_cancelled="raise"``;
+        ``on_cancelled="none"`` maps them to ``None`` so callers can keep
+        partial results.
+        """
+        if on_cancelled not in ("raise", "none"):
+            raise EngineError('on_cancelled must be "raise" or "none"')
+        unsettled = {id(job) for job in jobs if job.status == "pending"}
+        if unsettled:
+            for settled in self.drain(budget):
+                unsettled.discard(id(settled))
+                if not unsettled:
+                    break
+        results: list[Any] = []
+        for job in jobs:
+            if job.cancelled:
+                if on_cancelled == "raise":
+                    raise JobCancelledError(
+                        f"job {job.sequence} (priority {job.priority}) was cancelled"
+                    )
+                results.append(None)
+            elif job.done:
+                results.append(job.result)
+            else:
+                raise EngineError(f"job {job.sequence} was never dispatched")
+        return results
+
+    def map_unordered(
+        self,
+        tasks: list[Any],
+        priority: int = 0,
+        budget: TimeBudget | None = None,
+    ) -> Iterator[tuple[int, Any]]:
+        """Submit ``tasks`` and yield ``(index, result)`` pairs as they finish.
+
+        "Unordered" is relative to submission: higher-priority work already
+        in the queue dispatches first, and budget exhaustion stops the stream
+        early (remaining tasks are cancelled, not yielded).
+        """
+        jobs = self.submit_many(tasks, priority)
+        index_of = {id(job): index for index, job in enumerate(jobs)}
+        for job in self.drain(budget):
+            index = index_of.get(id(job))
+            if index is not None and job.done:
+                yield index, job.result

@@ -1,0 +1,99 @@
+"""Worker-side task execution for the parallel engine.
+
+Everything in this module is a module-level function operating on plain
+arrays and byte payloads, so tasks pickle cleanly across a ``spawn``-started
+worker pool (spawned workers import this module fresh and share no state
+with the parent).  Networks arrive as
+:func:`repro.utils.serialization.encode_network` payloads tagged with their
+parameter fingerprint; each worker decodes a given payload once and keeps it
+in a per-process cache, so a batch of tasks over the same network pays the
+decode cost once per worker, not once per task.
+
+Task tuples understood by :func:`run_task`:
+
+* ``("line", fingerprint, payload, start, end)`` → breakpoint ratios of
+  ``transform_line`` over the segment;
+* ``("plane", fingerprint, payload, vertices)`` → per-region
+  ``(input_vertices, plane_vertices)`` pairs of ``transform_plane``;
+* ``("evaluate", fingerprint, payload, points, activation_point)`` →
+  batched network outputs, optionally pinned to an activation point (DDNN);
+* ``("sample", fingerprint, payload, region, seed, num_samples)`` →
+  ``(points, outputs)`` with the points drawn worker-side from a generator
+  built from the derived per-region ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.cache import BoundedLru
+from repro.exceptions import EngineError
+from repro.polytope.segment import LineSegment
+from repro.utils.serialization import decode_network
+from repro.verify.base import Box, Verifier
+from repro.verify.sampling import random_region_points
+
+#: Per-process cache of decoded networks, keyed by parameter fingerprint.
+#: Bounded like the parent's payload cache: a CEGIS driver ships one fresh
+#: value channel per round, which must not accumulate in worker memory.
+_NETWORKS = BoundedLru(16)
+
+
+def _resolve_network(fingerprint: str, payload: bytes):
+    network = _NETWORKS.get(fingerprint)
+    if network is None:
+        network = decode_network(payload)
+        _NETWORKS.put(fingerprint, network)
+    return network
+
+
+def encode_region(region) -> tuple:
+    """Encode a spec region as a picklable tagged tuple."""
+    if isinstance(region, LineSegment):
+        return ("segment", region.start, region.end)
+    if isinstance(region, Box):
+        return ("box", region.lower, region.upper)
+    return ("polygon", np.asarray(region, dtype=np.float64))
+
+
+def decode_region(encoded: tuple):
+    """Invert :func:`encode_region`."""
+    kind = encoded[0]
+    if kind == "segment":
+        return LineSegment(encoded[1], encoded[2])
+    if kind == "box":
+        return Box(encoded[1], encoded[2])
+    if kind == "polygon":
+        return encoded[1]
+    raise EngineError(f"unknown region encoding {kind!r}")
+
+
+def run_task(task: tuple):
+    """Execute one engine task; see the module docstring for the formats."""
+    kind = task[0]
+    if kind == "line":
+        from repro.syrenn.line import transform_line
+
+        _, fingerprint, payload, start, end = task
+        network = _resolve_network(fingerprint, payload)
+        return transform_line(network, LineSegment(start, end)).ratios
+    if kind == "plane":
+        from repro.syrenn.plane import transform_plane
+
+        _, fingerprint, payload, vertices = task
+        network = _resolve_network(fingerprint, payload)
+        partition = transform_plane(network, vertices)
+        return [(region.input_vertices, region.plane_vertices) for region in partition.regions]
+    if kind == "evaluate":
+        _, fingerprint, payload, points, activation_point = task
+        network = _resolve_network(fingerprint, payload)
+        # The shared helper applies activation_point only to DDNNs, exactly
+        # like a serial verifier sweep would.
+        return Verifier._evaluate(network, points, activation_point)
+    if kind == "sample":
+        _, fingerprint, payload, encoded_region, seed, num_samples = task
+        network = _resolve_network(fingerprint, payload)
+        rng = np.random.default_rng(int(seed))
+        points = random_region_points(decode_region(encoded_region), num_samples, rng)
+        return points, Verifier._evaluate(network, points)
+    raise EngineError(f"unknown engine task kind {kind!r}")

@@ -211,7 +211,11 @@ def strengthened_specification(
 
 
 def strengthened_verification_spec(
-    network: Network, setup: Task3Setup, *, margin: float = CLASSIFICATION_MARGIN
+    network: Network,
+    setup: Task3Setup,
+    *,
+    margin: float = CLASSIFICATION_MARGIN,
+    engine=None,
 ) -> VerificationSpec:
     """The repair slices as verification targets, strengthened per linear region.
 
@@ -226,8 +230,14 @@ def strengthened_verification_spec(
     """
     allowed = setup.safety_property.allowed
     spec = VerificationSpec()
-    for slice_index, slice_vertices in enumerate(setup.repair_slices):
-        partition = transform_plane(network, slice_vertices)
+    if engine is not None:
+        partitions = engine.transform_planes(network, setup.repair_slices)
+    else:
+        partitions = [
+            transform_plane(network, slice_vertices)
+            for slice_vertices in setup.repair_slices
+        ]
+    for slice_index, partition in enumerate(partitions):
         for region_index, region in enumerate(partition.regions):
             scores = network.compute(region.interior_point)
             winner = max(allowed, key=lambda advisory: scores[advisory])
@@ -252,6 +262,7 @@ def driver_slice_repair(
     max_rounds: int = 5,
     budget_seconds: float | None = None,
     checkpoint_path=None,
+    engine=None,
     efficacy_samples_per_slice: int = 64,
 ) -> tuple[dict, DriverReport]:
     """Closed-loop CEGIS repair of the repair slices (strengthened φ8).
@@ -262,6 +273,11 @@ def driver_slice_repair(
     repair, iterating verify → pool → repair until the exact verifier
     certifies every region.  Returns ``(record, driver_report)`` where
     ``record`` has the same safety-metric keys as the other Task 3 methods.
+
+    ``engine`` routes both the strengthened-spec decomposition and every
+    driver round's verification through a
+    :class:`repro.engine.ShardedSyrennEngine` worker pool (its partition
+    cache makes the spec decomposition and round 0 share work).
     """
     chosen = layer_index if layer_index is not None else setup.last_layer_index
     schedule = [chosen] + [
@@ -269,7 +285,7 @@ def driver_slice_repair(
         for index in reversed(setup.network.parameterized_layer_indices())
         if index != chosen
     ]
-    spec = strengthened_verification_spec(setup.network, setup)
+    spec = strengthened_verification_spec(setup.network, setup, engine=engine)
     # Drawdown is tracked per round as prediction churn on the already-safe
     # holdout encounters (the buggy network's own advisories are the labels).
     holdout_labels = np.atleast_1d(setup.network.predict(setup.drawdown_points))
@@ -284,6 +300,7 @@ def driver_slice_repair(
         budget_seconds=budget_seconds,
         holdout=(setup.drawdown_points, holdout_labels),
         checkpoint_path=checkpoint_path,
+        engine=engine,
     )
     report = driver.run()
     record = {

@@ -62,10 +62,6 @@ def convex_hull(points: np.ndarray) -> np.ndarray:
     return np.array(lower[:-1] + upper[:-1])
 
 
-def _interpolate(first: np.ndarray, second: np.ndarray, ratio: float) -> np.ndarray:
-    return first + ratio * (second - first)
-
-
 def clip_by_function(vertices: np.ndarray, function_values: np.ndarray, keep_positive: bool) -> np.ndarray:
     """Clip an ordered polygon to one side of an affine function's zero set.
 
@@ -74,6 +70,11 @@ def clip_by_function(vertices: np.ndarray, function_values: np.ndarray, keep_pos
     affine function values).  ``function_values`` gives the affine function
     at each vertex.  Returns the ordered vertices of the sub-polygon where
     the function is ``>= 0`` (``keep_positive``) or ``<= 0``.
+
+    The edge walk is fully vectorized: each edge ``i`` contributes its start
+    vertex when that vertex is inside, then the crossing point when the edge
+    crosses the zero set, and the per-slot selection preserves exactly that
+    emission order.
     """
     vertices = np.asarray(vertices, dtype=np.float64)
     values = np.asarray(function_values, dtype=np.float64)
@@ -82,24 +83,53 @@ def clip_by_function(vertices: np.ndarray, function_values: np.ndarray, keep_pos
     if not keep_positive:
         values = -values
 
-    kept_rows: list[np.ndarray] = []
     count = vertices.shape[0]
-    for index in range(count):
-        current, nxt = vertices[index], vertices[(index + 1) % count]
-        current_value, next_value = values[index], values[(index + 1) % count]
-        inside = current_value >= -CLIP_TOLERANCE
-        next_inside = next_value >= -CLIP_TOLERANCE
-        if inside:
-            kept_rows.append(current)
-        crosses = (current_value > CLIP_TOLERANCE and next_value < -CLIP_TOLERANCE) or (
-            current_value < -CLIP_TOLERANCE and next_value > CLIP_TOLERANCE
-        )
-        if crosses:
-            ratio = current_value / (current_value - next_value)
-            kept_rows.append(_interpolate(current, nxt, ratio))
-    if not kept_rows:
+    if count == 0:
         return np.zeros((0, vertices.shape[1]))
-    return np.array(kept_rows)
+    next_vertices = np.roll(vertices, -1, axis=0)
+    next_values = np.roll(values, -1)
+    inside = values >= -CLIP_TOLERANCE
+    crosses = ((values > CLIP_TOLERANCE) & (next_values < -CLIP_TOLERANCE)) | (
+        (values < -CLIP_TOLERANCE) & (next_values > CLIP_TOLERANCE)
+    )
+    denominator = np.where(crosses, values - next_values, 1.0)
+    ratios = values / denominator
+    crossings = vertices + ratios[:, None] * (next_vertices - vertices)
+    # Slot layout per edge: [start vertex, crossing point]; boolean selection
+    # over the stacked (count, 2, d) array walks the slots in edge order.
+    slots = np.stack([inside, crosses], axis=1)
+    candidates = np.stack([vertices, crossings], axis=1)
+    kept = candidates[slots]
+    if kept.shape[0] == 0:
+        return np.zeros((0, vertices.shape[1]))
+    return kept
+
+
+def fan_wedges(vertices: np.ndarray, num_wedges: int) -> list[np.ndarray]:
+    """Subdivide a convex polygon into contiguous convex wedges sharing vertex 0.
+
+    The polygon's fan triangulation has ``k - 2`` triangles; grouping runs of
+    consecutive triangles yields at most ``k - 2`` convex sub-polygons
+    ``[v0, v_a, ..., v_b]`` whose union is the original polygon and whose
+    interiors are disjoint.  This is the geometry-sharding primitive of the
+    execution engine: each wedge can be decomposed independently and the
+    results concatenated.  The cut indices are a pure function of
+    ``(k, num_wedges)``, so the subdivision is deterministic.
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.ndim != 2 or vertices.shape[0] < 3:
+        raise ShapeError("fan_wedges expects a (k >= 3, d) vertex array")
+    if num_wedges < 1:
+        raise ValueError("num_wedges must be positive")
+    count = vertices.shape[0]
+    wedges = min(num_wedges, count - 2)
+    if wedges == 1:
+        return [vertices]
+    cuts = np.unique(np.linspace(1, count - 1, wedges + 1).round().astype(int))
+    return [
+        np.vstack([vertices[:1], vertices[start : stop + 1]])
+        for start, stop in zip(cuts[:-1], cuts[1:])
+    ]
 
 
 def split_by_function(vertices: np.ndarray, function_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

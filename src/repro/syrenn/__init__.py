@@ -19,6 +19,7 @@ uses as the activation point of each key point (Appendix B of the paper).
 
 from repro.syrenn.line import LinePartition, LineRegion, transform_line
 from repro.syrenn.plane import PlanePartition, PlaneRegion, transform_plane
+from repro.syrenn.regions import LinearRegion, geometry_digest
 
 __all__ = [
     "transform_line",
@@ -27,4 +28,6 @@ __all__ = [
     "transform_plane",
     "PlanePartition",
     "PlaneRegion",
+    "LinearRegion",
+    "geometry_digest",
 ]

@@ -1,0 +1,54 @@
+"""The linear-region datatype and geometry digests shared across layers.
+
+Both the exact verifier (``repro.verify.exact``) and the execution engine
+(``repro.engine``) consume SyReNN decompositions as lists of
+:class:`LinearRegion` and key caches by :func:`geometry_digest`.  The types
+live here — below both consumers — so neither package needs to import the
+other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.polytope.segment import LineSegment
+
+
+@dataclass
+class LinearRegion:
+    """One linear region of a specification region: its vertices and interior.
+
+    This is the unit of exact verification — the outputs at ``vertices``
+    bound the constraint margin over the whole region, and ``interior`` pins
+    a DDNN's activation pattern to the region.
+    """
+
+    vertices: np.ndarray
+    interior: np.ndarray
+
+
+def geometry_digest(region: LineSegment | np.ndarray, shards: int = 1) -> str:
+    """A digest of a region's geometry (and shard layout), for cache keying.
+
+    Keying on the geometry itself (rather than object identity) keeps a
+    partition cache correct across garbage-collected specs, in-place spec
+    edits, and re-built-but-identical specs — the common case in a repair
+    driver, where every round re-verifies the same regions.  ``shards > 1``
+    changes the merged partition (shard boundaries become breakpoints), so
+    the shard count is part of the key; ``shards == 1`` keys are identical
+    to the unsharded ones.
+    """
+    digest = hashlib.sha256()
+    if isinstance(region, LineSegment):
+        digest.update(b"segment")
+        digest.update(region.start.tobytes())
+        digest.update(region.end.tobytes())
+    else:
+        digest.update(b"vertices")
+        digest.update(np.ascontiguousarray(region).tobytes())
+    if shards > 1:
+        digest.update(f"#shards{shards}".encode())
+    return digest.hexdigest()[:24]

@@ -4,6 +4,12 @@ Training the buggy networks used by the experiments takes a few seconds to a
 couple of minutes.  The model zoo (``repro.models.zoo``) caches trained
 parameters under a directory of ``.npz`` files keyed by a configuration hash
 so that repeated benchmark runs do not retrain.
+
+The module also provides the spawn-safe network encoding used by the
+parallel execution engine (``repro.engine``): worker processes started with
+the ``spawn`` method share no memory with the parent, so networks cross the
+process boundary as self-contained byte payloads keyed by a parameter
+fingerprint.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 from pathlib import Path
 
 import numpy as np
@@ -28,6 +35,58 @@ def default_cache_dir() -> Path:
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-prdnn"
+
+
+def encode_network(network) -> bytes:
+    """Encode a network (or DDNN) as a self-contained byte payload.
+
+    Every layer and network class lives at module level and stores only
+    plain NumPy arrays, so the pickle payload can be decoded by a freshly
+    ``spawn``-ed worker process that imported ``repro`` on its own.
+    """
+    return pickle.dumps(network, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_network(payload: bytes):
+    """Decode a network encoded by :func:`encode_network`."""
+    return pickle.loads(payload)
+
+
+def network_fingerprint(network) -> str:
+    """A short digest of a network's architecture and parameters.
+
+    Two identical networks (e.g. the same network in two different
+    processes) produce the same fingerprint, which is what lets the disk
+    tier of the partition cache be shared across processes.  The digest
+    covers every layer's class and shape — not just the parameterized
+    layers' weights — so networks that differ only in parameter-free layers
+    (a swapped activation, say) never collide.  Decoupled networks hash
+    both channels.
+    """
+    digest = hashlib.sha256()
+    if hasattr(network, "activation") and hasattr(network, "value"):
+        channels = (("activation", network.activation), ("value", network.value))
+    else:
+        channels = (("network", network),)
+    for name, channel in channels:
+        digest.update(name.encode())
+        for layer in channel.layers:
+            digest.update(
+                f"{type(layer).__name__}:{layer.input_size}:{layer.output_size}".encode()
+            )
+            # Every layer stores its state as instance attributes: parameter
+            # arrays (weights, kernels, biases), array state of static
+            # layers (a NormalizeLayer's means/stds), and scalar
+            # configuration (a LeakyReLU slope, pooling strides).  Hashing
+            # them all covers differences the parameter vectors alone miss.
+            for attr, value in sorted(vars(layer).items()):
+                if isinstance(value, (bool, int, float, str, tuple)):
+                    digest.update(f":{attr}={value}".encode())
+                elif isinstance(value, np.ndarray):
+                    digest.update(f":{attr}:".encode())
+                    digest.update(np.ascontiguousarray(value).tobytes())
+            digest.update(b";")
+    return digest.hexdigest()[:16]
 
 
 def save_arrays(path: Path, arrays: dict[str, np.ndarray]) -> None:

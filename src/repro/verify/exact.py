@@ -15,13 +15,18 @@ activation point, because the DDNN's value channel may be discontinuous
 across region boundaries.  Since the activation channel is unchanged by
 repair, the decomposition of each specification region is cached across the
 repeated verification rounds of a repair driver.
+
+Decomposition can also be delegated to a
+:class:`repro.engine.ShardedSyrennEngine`: all of a spec's regions are
+decomposed in one batched engine call (sharded, parallel across worker
+processes, and cached in the engine's two-tier partition cache).  The
+engine's merge order is deterministic, so an engine-backed verification at
+any worker count is byte-identical to the serial one.
 """
 
 from __future__ import annotations
 
-import hashlib
 import time
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,6 +35,8 @@ from repro.nn.network import Network
 from repro.polytope.segment import LineSegment
 from repro.syrenn.line import transform_line
 from repro.syrenn.plane import transform_plane
+from repro.syrenn.regions import LinearRegion, geometry_digest
+from repro.utils.serialization import network_fingerprint
 from repro.verify.base import (
     DEFAULT_TOLERANCE,
     Box,
@@ -41,14 +48,6 @@ from repro.verify.base import (
 )
 
 
-@dataclass
-class _LinearRegion:
-    """One linear region of a specification region: its vertices and interior."""
-
-    vertices: np.ndarray
-    interior: np.ndarray
-
-
 class SyrennVerifier(Verifier):
     """Exact verification of line/plane regions via SyReNN decompositions.
 
@@ -56,14 +55,25 @@ class SyrennVerifier(Verifier):
     equivalent point/segment/rectangle and verified exactly; boxes varying
     in three or more dimensions are beyond the 1-D/2-D SyReNN substrate and
     are reported ``UNKNOWN``.
+
+    With an ``engine``, region decomposition runs as one batched engine
+    call and the engine's partition cache replaces the verifier's private
+    in-memory cache; ``cache_partitions=False`` bypasses the engine cache
+    for this verifier's calls without clearing it for other consumers.
     """
 
     name = "syrenn"
 
-    def __init__(self, tolerance: float = DEFAULT_TOLERANCE, cache_partitions: bool = True) -> None:
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        cache_partitions: bool = True,
+        engine=None,
+    ) -> None:
         super().__init__(tolerance)
         self.cache_partitions = cache_partitions
-        self._cache: dict[tuple, list[_LinearRegion]] = {}
+        self.engine = engine
+        self._cache: dict[tuple, list[LinearRegion]] = {}
 
     def verify(
         self, network: Network | DecoupledNetwork, spec: VerificationSpec
@@ -74,7 +84,8 @@ class SyrennVerifier(Verifier):
         activation_network = (
             network.activation if isinstance(network, DecoupledNetwork) else network
         )
-        fingerprint = _network_fingerprint(activation_network) if self.cache_partitions else None
+        normalized = [_normalize_region(entry.region) for entry in spec.regions]
+        decomposed = self._decompose_all(activation_network, normalized)
 
         statuses: list[RegionStatus] = []
         margins: list[float] = []
@@ -82,17 +93,18 @@ class SyrennVerifier(Verifier):
         points_checked = 0
         linear_regions_checked = 0
         for region_index, entry in enumerate(spec.regions):
-            region = _normalize_region(entry.region)
-            if region is None:  # a box the 1-D/2-D substrate cannot decompose
+            linear_regions = decomposed[region_index]
+            if linear_regions is None:  # a box the 1-D/2-D substrate cannot decompose
                 statuses.append(RegionStatus.UNKNOWN)
                 margins.append(float("-inf"))
                 continue
-            linear_regions = self._decompose(
-                activation_network, region, (_region_digest(region), fingerprint)
-            )
             linear_regions_checked += len(linear_regions)
             region_margin = float("-inf")
             region_violated = False
+            # Vertex checks stay in-process even with an engine: each linear
+            # region is a micro-batch of 2-8 points whose forward pass is far
+            # cheaper than shipping it to a worker, and decomposition — not
+            # evaluation — dominates exact-verification wall-clock.
             for linear_region in linear_regions:
                 points_checked += linear_region.vertices.shape[0]
                 outputs = self._evaluate(network, linear_region.vertices, linear_region.interior)
@@ -123,48 +135,53 @@ class SyrennVerifier(Verifier):
             seconds=time.perf_counter() - start,
         )
 
+    # ------------------------------------------------------------------
+    def _decompose_all(
+        self, activation_network: Network, normalized: list
+    ) -> list[list[LinearRegion] | None]:
+        """Linear regions per normalized spec region (``None`` for 3D+ boxes)."""
+        supported = [index for index, region in enumerate(normalized) if region is not None]
+        decomposed: list[list[LinearRegion] | None] = [None] * len(normalized)
+        if self.engine is not None:
+            results = self.engine.decompose(
+                activation_network,
+                [normalized[index] for index in supported],
+                use_cache=self.cache_partitions,
+            )
+            for index, linear_regions in zip(supported, results):
+                decomposed[index] = linear_regions
+            return decomposed
+        fingerprint = network_fingerprint(activation_network) if self.cache_partitions else None
+        for index in supported:
+            region = normalized[index]
+            decomposed[index] = self._decompose(
+                activation_network, region, (geometry_digest(region), fingerprint)
+            )
+        return decomposed
+
     def _decompose(
         self, activation_network: Network, region, cache_key: tuple
-    ) -> list[_LinearRegion]:
+    ) -> list[LinearRegion]:
         if self.cache_partitions and cache_key in self._cache:
             return self._cache[cache_key]
         if isinstance(region, LineSegment):
             partition = transform_line(activation_network, region)
             linear_regions = [
-                _LinearRegion(vertices=piece.vertices, interior=piece.interior_point)
+                LinearRegion(vertices=piece.vertices, interior=piece.interior_point)
                 for piece in partition.regions
             ]
         elif isinstance(region, np.ndarray) and region.ndim == 1:
             # A fully degenerate box: a single point is its own linear region.
-            linear_regions = [_LinearRegion(vertices=region[None, :], interior=region)]
+            linear_regions = [LinearRegion(vertices=region[None, :], interior=region)]
         else:
             partition = transform_plane(activation_network, region)
             linear_regions = [
-                _LinearRegion(vertices=piece.input_vertices, interior=piece.interior_point)
+                LinearRegion(vertices=piece.input_vertices, interior=piece.interior_point)
                 for piece in partition.regions
             ]
         if self.cache_partitions:
             self._cache[cache_key] = linear_regions
         return linear_regions
-
-
-def _region_digest(region: LineSegment | np.ndarray) -> str:
-    """A digest of a (normalized) region's geometry, for partition-cache keying.
-
-    Keying the cache on the geometry itself (rather than spec/region object
-    identity) keeps it correct across garbage-collected specs, in-place spec
-    edits, and re-built-but-identical specs — the last being the common case
-    in a repair driver, where every round re-verifies the same regions.
-    """
-    digest = hashlib.sha256()
-    if isinstance(region, LineSegment):
-        digest.update(b"segment")
-        digest.update(region.start.tobytes())
-        digest.update(region.end.tobytes())
-    else:
-        digest.update(b"vertices")
-        digest.update(np.ascontiguousarray(region).tobytes())
-    return digest.hexdigest()[:24]
 
 
 def _normalize_region(region) -> LineSegment | np.ndarray | None:
@@ -194,12 +211,3 @@ def _normalize_region(region) -> LineSegment | np.ndarray | None:
             return np.array(corners)
         return None
     return np.atleast_2d(np.asarray(region, dtype=np.float64))
-
-
-def _network_fingerprint(network: Network) -> str:
-    """A digest of the network's parameters, for partition-cache keying."""
-    digest = hashlib.sha256()
-    for index, flat in sorted(network.get_all_parameters().items()):
-        digest.update(str(index).encode())
-        digest.update(np.ascontiguousarray(flat).tobytes())
-    return digest.hexdigest()[:16]

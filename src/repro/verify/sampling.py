@@ -10,6 +10,15 @@ violations the exact verifier proves.
 The hot path is fully batched: all sample points of a region go through the
 network in one forward pass and through
 :meth:`repro.polytope.hpolytope.HPolytope.violation_batch` in one matmul.
+
+Both verifiers also accept an ``engine``
+(:class:`repro.engine.ShardedSyrennEngine`), which routes the per-region
+sweeps through the engine's worker pool.  :class:`GridVerifier` keeps its
+points deterministic, so engine and serial sweeps are identical;
+:class:`RandomVerifier` switches to *worker-side* sampling with per-region
+seeds derived from its root seed (:func:`repro.utils.rng.derive_seeds`), so
+its results are identical at any worker count — though, by design, not to
+the engine-less sequential stream.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import numpy as np
 from repro.core.ddnn import DecoupledNetwork
 from repro.nn.network import Network
 from repro.polytope.segment import LineSegment
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import derive_seeds, ensure_rng
 from repro.verify.base import (
     DEFAULT_TOLERANCE,
     Box,
@@ -33,6 +42,30 @@ from repro.verify.base import (
 )
 
 
+def grid_region_points(region, resolution: int, max_points: int) -> np.ndarray:
+    """The deterministic dense sweep points of one region."""
+    if isinstance(region, LineSegment):
+        return region.points_at(np.linspace(0.0, 1.0, resolution))
+    if isinstance(region, Box):
+        return _box_lattice(region, resolution, max_points)
+    return _polygon_grid(np.atleast_2d(np.asarray(region)), resolution)
+
+
+def random_region_points(region, num_samples: int, rng: np.random.Generator) -> np.ndarray:
+    """``num_samples`` random points of one region, drawn from ``rng``.
+
+    Module-level so the engine's worker processes can draw the points
+    themselves from a per-region derived seed.
+    """
+    if isinstance(region, LineSegment):
+        return region.sample(num_samples, rng)
+    if isinstance(region, Box):
+        return rng.uniform(region.lower, region.upper, size=(num_samples, region.dimension))
+    vertices = np.atleast_2d(np.asarray(region))
+    weights = rng.dirichlet(np.ones(vertices.shape[0]), size=num_samples)
+    return weights @ vertices
+
+
 class _SamplingVerifier(Verifier):
     """Shared verify() skeleton: subclasses only choose the sample points."""
 
@@ -40,12 +73,31 @@ class _SamplingVerifier(Verifier):
         self,
         tolerance: float = DEFAULT_TOLERANCE,
         max_counterexamples_per_region: int | None = 32,
+        engine=None,
     ) -> None:
         super().__init__(tolerance)
         self.max_counterexamples_per_region = max_counterexamples_per_region
+        self.engine = engine
 
     def _sample_region(self, region) -> np.ndarray:
         raise NotImplementedError
+
+    def _sweep(self, network: Network | DecoupledNetwork, spec: VerificationSpec):
+        """Per-region (points, outputs) pairs; subclasses may route via the engine.
+
+        Without an engine this *streams* — one region's samples and outputs
+        are alive at a time, as before the engine existed — so large
+        engine-less sweeps keep their old peak memory.  The engine path
+        materializes all regions up front: that is the batch the worker
+        pool parallelizes over.
+        """
+        if self.engine is not None:
+            points_list = [self._sample_region(entry.region) for entry in spec.regions]
+            return zip(points_list, self.engine.evaluate_batches(network, points_list))
+        return (
+            (points, self._evaluate(network, points))
+            for points in (self._sample_region(entry.region) for entry in spec.regions)
+        )
 
     def verify(
         self, network: Network | DecoupledNetwork, spec: VerificationSpec
@@ -57,10 +109,9 @@ class _SamplingVerifier(Verifier):
         margins: list[float] = []
         counterexamples: list[Counterexample] = []
         points_checked = 0
-        for region_index, entry in enumerate(spec.regions):
-            points = self._sample_region(entry.region)
+        sweep = self._sweep(network, spec)
+        for (region_index, entry), (points, outputs) in zip(enumerate(spec.regions), sweep):
             points_checked += points.shape[0]
-            outputs = self._evaluate(network, points)
             point_margins = entry.constraint.violation_batch(outputs)
             margins.append(float(np.max(point_margins)))
             violating = np.where(point_margins > self.tolerance)[0]
@@ -99,6 +150,10 @@ class GridVerifier(_SamplingVerifier):
     boxes get an axis-aligned lattice capped at ``max_points_per_region``
     total points (the per-axis count shrinks with the number of varying
     dimensions, so high-dimensional boxes stay tractable).
+
+    With an ``engine``, region evaluations run as engine jobs; the sweep
+    points are computed deterministically either way, so the engine-backed
+    sweep produces byte-identical reports.
     """
 
     name = "grid"
@@ -110,27 +165,27 @@ class GridVerifier(_SamplingVerifier):
         tolerance: float = DEFAULT_TOLERANCE,
         max_points_per_region: int = 4096,
         max_counterexamples_per_region: int | None = 32,
+        engine=None,
     ) -> None:
-        super().__init__(tolerance, max_counterexamples_per_region)
+        super().__init__(tolerance, max_counterexamples_per_region, engine)
         if resolution < 2:
             raise ValueError("grid resolution must be at least 2")
         self.resolution = int(resolution)
         self.max_points_per_region = int(max_points_per_region)
 
     def _sample_region(self, region) -> np.ndarray:
-        if isinstance(region, LineSegment):
-            return region.points_at(np.linspace(0.0, 1.0, self.resolution))
-        if isinstance(region, Box):
-            return _box_lattice(region, self.resolution, self.max_points_per_region)
-        return _polygon_grid(np.atleast_2d(np.asarray(region)), self.resolution)
+        return grid_region_points(region, self.resolution, self.max_points_per_region)
 
 
 class RandomVerifier(_SamplingVerifier):
     """Seeded Monte-Carlo search with per-point margin tracking.
 
-    Each call draws fresh samples from the verifier's generator, so repeated
-    rounds of a repair driver probe different points while the whole run
-    stays reproducible from the seed.
+    Each call draws fresh samples, so repeated rounds of a repair driver
+    probe different points while the whole run stays reproducible from the
+    seed.  Serially the verifier consumes one sequential generator; with an
+    ``engine`` each region draws worker-side from a seed derived from
+    ``(root seed, sweep index, region index)``, which makes the results a
+    pure function of the seed — identical at any worker count.
     """
 
     name = "random"
@@ -142,23 +197,38 @@ class RandomVerifier(_SamplingVerifier):
         *,
         tolerance: float = DEFAULT_TOLERANCE,
         max_counterexamples_per_region: int | None = 32,
+        engine=None,
     ) -> None:
-        super().__init__(tolerance, max_counterexamples_per_region)
+        super().__init__(tolerance, max_counterexamples_per_region, engine)
         if num_samples < 1:
             raise ValueError("num_samples must be positive")
         self.num_samples = int(num_samples)
         self._rng = ensure_rng(seed)
+        # Root seed for worker-side sampling; for a non-integer seed it is
+        # drawn lazily so the engine-less sequential stream stays untouched.
+        self._root_seed = int(seed) if isinstance(seed, (int, np.integer)) else None
+        self._sweep_index = 0
+
+    def _engine_root_seed(self) -> int:
+        if self._root_seed is None:
+            self._root_seed = int(self._rng.integers(0, 2**63 - 1))
+        return self._root_seed
 
     def _sample_region(self, region) -> np.ndarray:
-        if isinstance(region, LineSegment):
-            return region.sample(self.num_samples, self._rng)
-        if isinstance(region, Box):
-            return self._rng.uniform(
-                region.lower, region.upper, size=(self.num_samples, region.dimension)
+        return random_region_points(region, self.num_samples, self._rng)
+
+    def _sweep(self, network: Network | DecoupledNetwork, spec: VerificationSpec):
+        if self.engine is None:
+            return super()._sweep(network, spec)
+        seeds = derive_seeds(
+            self._engine_root_seed(), spec.num_regions, stream=self._sweep_index
+        )
+        self._sweep_index += 1
+        return iter(
+            self.engine.sample_regions(
+                network, [entry.region for entry in spec.regions], seeds, self.num_samples
             )
-        vertices = np.atleast_2d(np.asarray(region))
-        weights = self._rng.dirichlet(np.ones(vertices.shape[0]), size=self.num_samples)
-        return weights @ vertices
+        )
 
 
 def _box_lattice(box: Box, resolution: int, max_points: int) -> np.ndarray:

@@ -246,3 +246,87 @@ class TestHPolytope:
             # Ties are the only disagreement allowed.
             np.sum(outputs == outputs.max()) > 1
         )
+
+
+def _reference_clip(vertices, function_values, keep_positive):
+    """The pre-vectorization per-vertex clipping loop, kept as an oracle."""
+    from repro.polytope.polygon import CLIP_TOLERANCE
+
+    vertices = np.asarray(vertices, dtype=np.float64)
+    values = np.asarray(function_values, dtype=np.float64)
+    if not keep_positive:
+        values = -values
+    kept_rows = []
+    count = vertices.shape[0]
+    for index in range(count):
+        current, nxt = vertices[index], vertices[(index + 1) % count]
+        current_value, next_value = values[index], values[(index + 1) % count]
+        if current_value >= -CLIP_TOLERANCE:
+            kept_rows.append(current)
+        crosses = (current_value > CLIP_TOLERANCE and next_value < -CLIP_TOLERANCE) or (
+            current_value < -CLIP_TOLERANCE and next_value > CLIP_TOLERANCE
+        )
+        if crosses:
+            ratio = current_value / (current_value - next_value)
+            kept_rows.append(current + ratio * (nxt - current))
+    if not kept_rows:
+        return np.zeros((0, vertices.shape[1]))
+    return np.array(kept_rows)
+
+
+class TestVectorizedClipping:
+    """The vectorized edge walk must match the reference loop bit for bit."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000), keep_positive=st.booleans())
+    def test_matches_reference_loop(self, seed, keep_positive):
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(3, 9))
+        vertices = rng.normal(size=(count, 4))
+        values = rng.normal(size=count)
+        # Exercise on-boundary vertices too.
+        values[rng.random(count) < 0.2] = 0.0
+        fast = clip_by_function(vertices, values, keep_positive)
+        slow = _reference_clip(vertices, values, keep_positive)
+        assert fast.shape == slow.shape
+        assert fast.tobytes() == slow.tobytes()
+
+    def test_all_inside_and_all_outside(self):
+        square = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+        inside = clip_by_function(square, np.ones(4), keep_positive=True)
+        np.testing.assert_array_equal(inside, square)
+        outside = clip_by_function(square, np.ones(4), keep_positive=False)
+        assert outside.shape == (0, 2)
+
+    def test_empty_input(self):
+        empty = clip_by_function(np.zeros((0, 2)), np.zeros(0), keep_positive=True)
+        assert empty.shape == (0, 2)
+
+
+class TestSubdivisionHelpers:
+    def test_segment_subdivide_matches_points_at(self):
+        segment = LineSegment([0.0, -2.0], [1.0, 2.0])
+        pieces = segment.subdivide(4)
+        boundaries = segment.points_at(np.linspace(0.0, 1.0, 5))
+        for index, piece in enumerate(pieces):
+            np.testing.assert_array_equal(piece.start, boundaries[index])
+            np.testing.assert_array_equal(piece.end, boundaries[index + 1])
+        with pytest.raises(ValueError):
+            segment.subdivide(0)
+
+    def test_fan_wedges_partition_area_and_orientation(self):
+        from repro.polytope.polygon import fan_wedges
+
+        hexagon = np.array(
+            [[np.cos(a), np.sin(a)] for a in np.linspace(0, 2 * np.pi, 7)[:-1]]
+        )
+        wedges = fan_wedges(hexagon, 3)
+        assert len(wedges) == 3
+        total = sum(polygon_area(wedge) for wedge in wedges)
+        assert total == pytest.approx(polygon_area(hexagon))
+        for wedge in wedges:
+            np.testing.assert_array_equal(wedge[0], hexagon[0])
+        with pytest.raises(ValueError):
+            fan_wedges(hexagon, 0)
+        with pytest.raises(ShapeError):
+            fan_wedges(hexagon[:2], 2)

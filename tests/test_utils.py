@@ -220,3 +220,84 @@ class TestSerialization:
         zoo = ModelZoo()
         path = zoo._cache_path("unit", {"a": 1})
         assert path.parent == tmp_path / "zoo"
+
+
+class TestNetworkSerialization:
+    def test_encode_decode_round_trip(self, toy_network):
+        from repro.utils.serialization import decode_network, encode_network
+
+        restored = decode_network(encode_network(toy_network))
+        points = np.linspace(-2.0, 2.0, 7)[:, None]
+        np.testing.assert_array_equal(
+            restored.compute(points), toy_network.compute(points)
+        )
+
+    def test_fingerprint_stable_across_copies(self, toy_network):
+        from repro.utils.serialization import network_fingerprint
+
+        assert network_fingerprint(toy_network) == network_fingerprint(
+            toy_network.copy()
+        )
+
+    def test_fingerprint_sees_parameter_free_architecture(self, rng):
+        """Same weights, different activation layer → different fingerprint."""
+        from repro.nn.activations import HardTanhLayer, LeakyReLULayer, ReLULayer
+        from repro.nn.linear import FullyConnectedLayer
+        from repro.nn.network import Network
+        from repro.utils.serialization import network_fingerprint
+
+        first = FullyConnectedLayer.from_shape(2, 4, rng)
+        second = FullyConnectedLayer.from_shape(4, 2, rng)
+
+        def with_activation(activation):
+            return Network([first.copy(), activation, second.copy()])
+
+        relu = network_fingerprint(with_activation(ReLULayer(4)))
+        hardtanh = network_fingerprint(with_activation(HardTanhLayer(4)))
+        assert relu != hardtanh
+        # Scalar layer configuration matters too (LeakyReLU slope).
+        gentle = network_fingerprint(with_activation(LeakyReLULayer(4, 0.01)))
+        steep = network_fingerprint(with_activation(LeakyReLULayer(4, 0.5)))
+        assert gentle != steep
+
+    def test_fingerprint_sees_static_layer_array_state(self, rng):
+        """Same weights, different NormalizeLayer stats → different fingerprint."""
+        from repro.nn.linear import FullyConnectedLayer
+        from repro.nn.network import Network
+        from repro.nn.reshape import NormalizeLayer
+        from repro.utils.serialization import network_fingerprint
+
+        dense = FullyConnectedLayer.from_shape(2, 3, rng)
+
+        def with_normalization(means, stds):
+            return Network([NormalizeLayer(means, stds), dense.copy()])
+
+        identity = network_fingerprint(with_normalization([0.0, 0.0], [1.0, 1.0]))
+        shifted = network_fingerprint(with_normalization([5.0, -3.0], [2.0, 7.0]))
+        assert identity != shifted
+
+    def test_fingerprint_covers_ddnn_channels(self, toy_network):
+        from repro.core.ddnn import DecoupledNetwork
+        from repro.utils.serialization import network_fingerprint
+
+        ddnn = DecoupledNetwork.from_network(toy_network)
+        base = network_fingerprint(ddnn)
+        edited = ddnn.copy()
+        layer_index = edited.repairable_layer_indices()[0]
+        edited.apply_parameter_delta(
+            layer_index,
+            np.full_like(edited.value.layers[layer_index].get_parameters(), 0.25),
+        )
+        assert network_fingerprint(edited) != base
+
+
+class TestDeriveSeeds:
+    def test_pure_function_of_root_stream_index(self):
+        from repro.utils.rng import derive_seeds
+
+        assert derive_seeds(7, 3) == derive_seeds(7, 3)
+        assert derive_seeds(7, 3) != derive_seeds(8, 3)
+        assert derive_seeds(7, 3, stream=2) != derive_seeds(7, 3, stream=1)
+        assert len(set(derive_seeds(7, 100))) == 100
+        with pytest.raises(ValueError):
+            derive_seeds(7, -1)
