@@ -40,6 +40,7 @@ from repro.nn.activations import ReLULayer
 from repro.nn.linear import FullyConnectedLayer
 from repro.nn.network import Network
 from repro.polytope.hpolytope import HPolytope
+from repro.utils.rng import ensure_rng
 from repro.verify import SyrennVerifier, VerificationSpec
 
 INPUT_SIZE = 2
@@ -155,7 +156,10 @@ def run_benchmark(
     """Sweep scenario sizes and return the JSON-ready report."""
     records = []
     for num_regions in region_counts:
-        rng = np.random.default_rng(seed + num_regions)
+        # Seeded through repro.utils.rng so the bench JSON is reproducible
+        # run to run (and scenario generation matches the library's seeding
+        # conventions everywhere else).
+        rng = ensure_rng(seed + num_regions)
         network = build_network(depth, width, rng)
         spec = build_spec(network, num_regions, rng)
 

@@ -35,6 +35,7 @@ from repro.core.specs import PointRepairSpec
 from repro.nn.activations import ReLULayer
 from repro.nn.linear import FullyConnectedLayer
 from repro.nn.network import Network
+from repro.utils.rng import ensure_rng
 
 INPUT_SIZE = 10
 NUM_CLASSES = 2   # binary classifier: one argmax constraint row per point
@@ -113,7 +114,7 @@ def run_one(
 
 def run_benchmark(sizes: list[int], depth: int, width: int, seed: int) -> dict:
     """Run the legacy-vs-batched sweep and return the JSON-ready report."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)  # seeded through repro.utils.rng for reproducible JSON
     network = build_network(depth, width, rng)
     rows_per_point = NUM_CLASSES - 1  # one argmax constraint row per rival class
     records = []

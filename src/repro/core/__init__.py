@@ -24,7 +24,7 @@ from repro.core.multi_layer import (
     search_repair_layer,
     drawdown_score,
 )
-from repro.core.point_repair import point_repair
+from repro.core.point_repair import IncrementalPointRepairSession, point_repair
 from repro.core.polytope_repair import polytope_repair
 from repro.core.result import RepairResult, RepairTiming
 
@@ -35,6 +35,7 @@ __all__ = [
     "PolytopeRepairSpec",
     "classification_constraint",
     "point_repair",
+    "IncrementalPointRepairSession",
     "polytope_repair",
     "iterative_point_repair",
     "search_repair_layer",

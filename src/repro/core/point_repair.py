@@ -105,6 +105,11 @@ def point_repair(
     model = LPModel()
     bound = np.inf if delta_bound is None else float(delta_bound)
     delta_indices = model.add_variables(num_parameters, "delta", lower=-bound, upper=bound)
+    # The norm rows go in *first* so constraint rows always occupy the tail
+    # of the inequality block: an IncrementalPointRepairSession that appends
+    # counterexample rows round after round then produces exactly this row
+    # order, which is what keeps incremental and cold solves byte-identical.
+    add_norm_objective(model, delta_indices, norm)
 
     with watch.phase("jacobian"):
         if batched:
@@ -126,7 +131,6 @@ def point_repair(
                 constraint_rows += constraint.num_constraints
     for matrix, rhs in encoded_blocks:
         model.add_leq_block(matrix, rhs, delta_indices)
-    add_norm_objective(model, delta_indices, norm)
 
     with watch.phase("lp"):
         solution = model.solve(backend, sparse=sparse)
@@ -205,3 +209,151 @@ def _encode_constraints_batched(
 
 def _input_size(network: Network | DecoupledNetwork) -> int:
     return network.input_size
+
+
+class IncrementalPointRepairSession:
+    """A pointwise repair LP that grows across CEGIS rounds.
+
+    A repair driver solves ``point_repair(base, layer, pool)`` every round
+    with a pool that only ever grows, so round *k*'s LP is round *k-1*'s
+    plus the new counterexamples' rows.  This session exploits that: it
+    keeps one :class:`~repro.lp.model.LPModel` (delta variables plus the
+    norm objective) alive, :meth:`append_points` encodes **only the new
+    points'** Jacobian rows (the per-round Jacobian cost scales with the new
+    points, not the pool), and :meth:`solve` re-solves through an
+    :class:`~repro.lp.model.LPSession` that threads each round's
+    :class:`~repro.lp.model.WarmStart` handle into the next solve.
+
+    Because :func:`point_repair` emits the norm rows first, the session's
+    standard form is row-for-row identical to what a cold ``point_repair``
+    of the whole accumulated spec would build — so for a backend whose warm
+    start is exact (``warm_start_is_exact``), incremental solves return
+    byte-identical deltas to cold ones.
+
+    The session encodes against a private copy of the base network and never
+    mutates it; each feasible :meth:`solve` returns a *fresh* repaired copy.
+    """
+
+    def __init__(
+        self,
+        network: Network | DecoupledNetwork,
+        layer_index: int,
+        *,
+        norm: str = "linf",
+        backend: str | None = None,
+        delta_bound: float | None = None,
+        sparse: bool | None = None,
+        warm_start: bool = True,
+    ) -> None:
+        if isinstance(network, DecoupledNetwork):
+            self.ddnn = network.copy()
+        else:
+            self.ddnn = DecoupledNetwork.from_network(network)
+        self.layer_index = self.ddnn._check_repairable(layer_index)
+        self.norm = norm
+        self.warm_start = bool(warm_start)
+        num_parameters = self.ddnn.value.layers[self.layer_index].num_parameters
+        self.model = LPModel()
+        bound = np.inf if delta_bound is None else float(delta_bound)
+        self.delta_indices = self.model.add_variables(
+            num_parameters, "delta", lower=-bound, upper=bound
+        )
+        add_norm_objective(self.model, self.delta_indices, norm)
+        self.session = self.model.incremental_session(sparse=sparse, backend=backend)
+        self.num_points = 0
+        self.constraint_rows = 0
+        self.rows_appended_last = 0
+        self.last_solution = None
+        self._handle = None
+        self._pending_timing = RepairTiming()
+
+    def append_points(self, spec: PointRepairSpec) -> int:
+        """Encode and append the constraint rows of ``spec``'s points.
+
+        Returns the number of LP rows appended.  ``spec`` must contain only
+        points *not* previously appended — the caller (the driver) slices
+        its pool.
+        """
+        if spec.input_dimension != self.ddnn.input_size:
+            raise SpecificationError(
+                f"specification points have dimension {spec.input_dimension}, "
+                f"network expects {self.ddnn.input_size}"
+            )
+        watch = Stopwatch()
+        with watch.phase("jacobian"):
+            # A single-point append is padded to a batch of two (the point
+            # duplicated) and the duplicate's rows dropped: NumPy routes
+            # one-row matmuls through a different BLAS kernel than larger
+            # batches, whose last-bit rounding differs — padding keeps every
+            # appended row on the same batched code path as a cold
+            # whole-pool encoding, preserving byte-identity.
+            encode_spec = spec
+            if spec.num_points == 1:
+                encode_spec = PointRepairSpec(
+                    points=np.repeat(spec.points, 2, axis=0),
+                    constraints=list(spec.constraints) * 2,
+                    activation_points=(
+                        np.repeat(spec.activation_points, 2, axis=0)
+                        if spec.activation_points is not None
+                        else None
+                    ),
+                )
+            lhs, rhs = _encode_constraints_batched(self.ddnn, self.layer_index, encode_spec)
+            if spec.num_points == 1:
+                rows = spec.constraints[0].num_constraints
+                lhs, rhs = lhs[:rows], rhs[:rows]
+        self.model.add_leq_block(lhs, rhs, self.delta_indices)
+        rows = self.session.append_rows()
+        self.num_points += spec.num_points
+        self.constraint_rows += rows
+        self.rows_appended_last = rows
+        self._pending_timing.jacobian_seconds += watch.total("jacobian")
+        self._pending_timing.other_seconds += watch.other()
+        return rows
+
+    def solve(self) -> RepairResult:
+        """Solve the accumulated LP, warm-started from the previous round."""
+        watch = Stopwatch()
+        with watch.phase("lp"):
+            solution = self.session.solve(
+                warm_start=self._handle if self.warm_start else None
+            )
+        self.last_solution = solution
+        timing = self._pending_timing
+        timing.lp_seconds += watch.total("lp")
+        timing.other_seconds += watch.other()
+        self._pending_timing = RepairTiming()
+
+        if not solution.status.is_optimal:
+            status = solution.status
+            if status not in (LPStatus.INFEASIBLE, LPStatus.UNBOUNDED):
+                status = LPStatus.ERROR
+            return RepairResult(
+                feasible=False,
+                network=None,
+                delta=None,
+                layer_index=self.layer_index,
+                lp_status=status,
+                timing=timing,
+                num_key_points=self.num_points,
+                num_constraint_rows=self.constraint_rows,
+                num_variables=self.model.num_variables,
+                norm=self.norm,
+            )
+        self._handle = solution.warm_start
+        delta = solution.value_of(self.delta_indices)
+        repaired = self.ddnn.copy()
+        repaired.apply_parameter_delta(self.layer_index, delta)
+        return RepairResult(
+            feasible=True,
+            network=repaired,
+            delta=delta,
+            layer_index=self.layer_index,
+            lp_status=solution.status,
+            timing=timing,
+            num_key_points=self.num_points,
+            num_constraint_rows=self.constraint_rows,
+            num_variables=self.model.num_variables,
+            objective_value=solution.objective,
+            norm=self.norm,
+        )

@@ -21,6 +21,16 @@ Rounds are bounded by ``max_rounds`` and a wall-clock
 :class:`~repro.utils.timing.TimeBudget`; infeasible (or stalled) rounds
 escalate to the next layer in the layer schedule; and an optional holdout
 set tracks drawdown per round via :mod:`repro.experiments.metrics`.
+
+``incremental=True`` turns the superset property into wall-clock savings:
+the LP of round *k* is round *k-1*'s plus the new counterexamples' rows, so
+the driver keeps one
+:class:`~repro.core.point_repair.IncrementalPointRepairSession` alive per
+scheduled layer (append-only rows, warm-started solves), and — because
+value-channel repair never moves linear-region boundaries — enables the
+exact verifier's value-only fast path, which re-evaluates cached vertex
+sets instead of re-decomposing.  With the default scipy/HiGHS backend an
+incremental run is byte-identical to a cold one.
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.ddnn import DecoupledNetwork
-from repro.core.point_repair import point_repair
+from repro.core.point_repair import IncrementalPointRepairSession, point_repair
 from repro.core.result import RepairTiming
 from repro.driver.pool import CounterexamplePool
 from repro.exceptions import RepairError
@@ -75,7 +85,17 @@ class DriverTiming:
 
 @dataclass
 class RoundRecord:
-    """What happened in one verify→repair round."""
+    """What happened in one verify→repair round.
+
+    ``seconds`` is the round's verification wall-clock and
+    ``repair_seconds`` its repair wall-clock (benchmarks compare per-round
+    costs from these).  The last four fields describe the incremental
+    machinery: how many LP rows this round appended to the standing repair
+    LP (0 on cold rounds, which rebuild from scratch), whether the LP solve
+    actually consumed a warm-start handle, the backend's solver iteration
+    count, and whether verification took the value-only fast path (cached
+    decomposition, batched re-evaluation).
+    """
 
     round_index: int
     regions_certified: int
@@ -89,6 +109,11 @@ class RoundRecord:
     delta_linf: float = 0.0
     drawdown: float = float("nan")
     seconds: float = 0.0
+    repair_seconds: float = 0.0
+    lp_rows_appended: int = 0
+    warm_start_used: bool = False
+    lp_iterations: int | None = None
+    verify_value_only: bool = False
 
     def as_dict(self) -> dict:
         """The record as a JSON-ready dictionary."""
@@ -117,6 +142,7 @@ class DriverReport:
     unsatisfied_pool_indices: list[int] = field(default_factory=list)
     timing: DriverTiming = field(default_factory=DriverTiming)
     engine_stats: dict | None = None
+    incremental: bool = False
 
     @property
     def num_rounds(self) -> int:
@@ -128,16 +154,42 @@ class DriverReport:
         """Violated regions in the final verification pass (0 when clean)."""
         return self.final_report.num_violated if self.final_report is not None else 0
 
+    @property
+    def lp_rows_appended(self) -> int:
+        """Total LP rows appended incrementally across all rounds."""
+        return sum(record.lp_rows_appended for record in self.rounds)
+
+    @property
+    def warm_started_rounds(self) -> int:
+        """Rounds whose LP solve consumed a warm-start handle."""
+        return sum(record.warm_start_used for record in self.rounds)
+
+    @property
+    def value_only_rounds(self) -> int:
+        """Rounds whose verification took the value-only fast path."""
+        return sum(record.verify_value_only for record in self.rounds)
+
+    @property
+    def lp_iterations(self) -> int | None:
+        """Total solver iterations across rounds (``None`` if never reported)."""
+        counts = [r.lp_iterations for r in self.rounds if r.lp_iterations is not None]
+        return sum(counts) if counts else None
+
     def as_dict(self) -> dict:
         """A JSON-ready summary (no network weights)."""
         return {
             "status": self.status,
             "certified": self.certified,
+            "incremental": self.incremental,
             "num_rounds": self.num_rounds,
             "pool_size": self.pool_size,
             "counterexamples_found": self.counterexamples_found,
             "remaining_violations": self.remaining_violations,
             "unsatisfied_pool_counterexamples": len(self.unsatisfied_pool_indices),
+            "lp_rows_appended": self.lp_rows_appended,
+            "warm_started_rounds": self.warm_started_rounds,
+            "value_only_rounds": self.value_only_rounds,
+            "lp_iterations": self.lp_iterations,
             "final_report": (
                 self.final_report.as_dict() if self.final_report is not None else None
             ),
@@ -184,6 +236,31 @@ class RepairDriver:
         none yet) so every round's verification runs through the engine's
         worker pool and partition cache, and the engine's scheduler/cache
         statistics are included in the final :class:`DriverReport`.
+    incremental:
+        ``True`` switches both halves of the loop onto the incremental fast
+        paths.  Repair keeps one
+        :class:`~repro.core.point_repair.IncrementalPointRepairSession`
+        alive per scheduled layer, appending only the *new*
+        counterexamples' constraint rows each round and threading the
+        previous round's :class:`~repro.lp.model.WarmStart` into the solve;
+        verification (for a verifier exposing a ``value_only`` flag, i.e.
+        :class:`~repro.verify.exact.SyrennVerifier`) reuses the previous
+        round's decomposition whenever the activation fingerprint is
+        unchanged.  With the default (scipy/HiGHS) backend both fast paths
+        are byte-identical to a cold run; see ``warm_start``.
+    warm_start:
+        Whether incremental LP solves consume the previous round's handle
+        (only meaningful with ``incremental=True``).  For backends whose
+        warm start is *not* exact (``LPBackend.warm_start_is_exact`` is
+        ``False``, e.g. the simplex backend's dual-simplex hot start), a
+        warm-started solve may return a different — equally optimal —
+        vertex of a degenerate optimal face than a cold run would.
+    max_new_counterexamples:
+        Per-round cap on pool growth.  ``None`` (default) pools everything
+        a verification pass found; a small cap rations counterexamples the
+        way incremental CEGIS implementations often do, trading more rounds
+        for smaller per-round LPs (and giving benchmarks a deterministic
+        way to scale round counts).
     norm, backend, delta_bound, batched, sparse:
         Forwarded to :func:`repro.core.point_repair.point_repair`.
     """
@@ -202,6 +279,9 @@ class RepairDriver:
         checkpoint_path: str | Path | None = None,
         pool: CounterexamplePool | None = None,
         engine=None,
+        incremental: bool = False,
+        warm_start: bool = True,
+        max_new_counterexamples: int | None = None,
         norm: str = "linf",
         backend: str | None = None,
         delta_bound: float | None = None,
@@ -210,6 +290,10 @@ class RepairDriver:
     ) -> None:
         if max_rounds < 1:
             raise RepairError("the driver needs at least one round")
+        if incremental and not batched:
+            raise RepairError("incremental mode requires the batched repair engine")
+        if max_new_counterexamples is not None and max_new_counterexamples < 1:
+            raise RepairError("max_new_counterexamples must be positive (or None)")
         self.base = (
             network.copy()
             if isinstance(network, DecoupledNetwork)
@@ -237,11 +321,15 @@ class RepairDriver:
             self.pool = CounterexamplePool.load(self.checkpoint_path)
         else:
             self.pool = CounterexamplePool()
+        self.incremental = bool(incremental)
+        self.warm_start = bool(warm_start)
+        self.max_new_counterexamples = max_new_counterexamples
         self.norm = norm
         self.backend = backend
         self.delta_bound = delta_bound
         self.batched = batched
         self.sparse = sparse
+        self._session: IncrementalPointRepairSession | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> DriverReport:
@@ -252,18 +340,29 @@ class RepairDriver:
         has none of its own), so a caller-owned verifier is never left
         mutated.  The reported ``engine_stats`` always describe the engine
         the verification actually ran through.
+
+        An ``incremental`` driver likewise enables the verifier's
+        ``value_only`` fast path (when the verifier exposes that flag and
+        does not already have it on) for the duration of the run only.
         """
         attach = (
             self.engine is not None
             and getattr(self.verifier, "engine", False) is None
         )
+        attach_value_only = (
+            self.incremental and getattr(self.verifier, "value_only", None) is False
+        )
         if attach:
             self.verifier.engine = self.engine
+        if attach_value_only:
+            self.verifier.value_only = True
         try:
             return self._run()
         finally:
             if attach:
                 self.verifier.engine = None
+            if attach_value_only:
+                self.verifier.value_only = False
 
     def _run(self) -> DriverReport:
         budget = TimeBudget(self.budget_seconds)
@@ -297,6 +396,7 @@ class RepairDriver:
                 new_counterexamples=0,
                 pool_size=len(self.pool),
                 seconds=report.seconds,
+                verify_value_only=getattr(report, "value_only", False),
             )
             rounds.append(record)
 
@@ -304,7 +404,7 @@ class RepairDriver:
                 status = "certified" if report.certified else "clean"
                 break
 
-            new = self.pool.extend(report.counterexamples)
+            new = self._pool_intake(report.counterexamples)
             counterexamples_found += new
             record.new_counterexamples = new
             record.pool_size = len(self.pool)
@@ -320,24 +420,27 @@ class RepairDriver:
                     status = "stalled"
                     break
 
-            repair_spec = self.pool.point_spec(margin=self.repair_margin)
             result = None
             while layer_cursor < len(self.layer_schedule):
                 layer_index = self.layer_schedule[layer_cursor]
-                result = point_repair(
-                    self.base,
-                    layer_index,
-                    repair_spec,
-                    norm=self.norm,
-                    backend=self.backend,
-                    delta_bound=self.delta_bound,
-                    batched=self.batched,
-                    sparse=self.sparse,
-                )
+                if self.incremental:
+                    result = self._incremental_repair(layer_index, record)
+                else:
+                    result = point_repair(
+                        self.base,
+                        layer_index,
+                        self.pool.point_spec(margin=self.repair_margin),
+                        norm=self.norm,
+                        backend=self.backend,
+                        delta_bound=self.delta_bound,
+                        batched=self.batched,
+                        sparse=self.sparse,
+                    )
                 _accumulate(timing.repair, result.timing)
                 record.repair_attempted = True
                 record.repair_feasible = result.feasible
                 record.layer_index = result.layer_index
+                record.repair_seconds += result.timing.total_seconds
                 repaired_at_cursor = True
                 if result.feasible:
                     break
@@ -380,7 +483,57 @@ class RepairDriver:
             ),
             timing=timing,
             engine_stats=self._engine_stats(),
+            incremental=self.incremental,
         )
+
+    def _pool_intake(self, counterexamples: list) -> int:
+        """Pool a verification pass's counterexamples; returns how many were new.
+
+        With ``max_new_counterexamples`` set, intake stops once that many
+        *new* entries were admitted this round — duplicates of already
+        pooled counterexamples never count against the cap.
+        """
+        if self.max_new_counterexamples is None:
+            return self.pool.extend(counterexamples)
+        new = 0
+        for counterexample in counterexamples:
+            if self.pool.add(counterexample):
+                new += 1
+                if new >= self.max_new_counterexamples:
+                    break
+        return new
+
+    def _incremental_repair(self, layer_index: int, record: RoundRecord):
+        """One repair attempt through the standing incremental LP session.
+
+        The session lives for as long as the layer cursor stays put; a layer
+        escalation starts a fresh session (a different layer means entirely
+        different Jacobians), which then absorbs the whole pool at once.
+        Only counterexamples pooled since the session last encoded are
+        appended — the pool is insertion-ordered and append-only, so the
+        session's point count identifies the new suffix exactly.
+        """
+        if self._session is None or self._session.layer_index != layer_index:
+            self._session = IncrementalPointRepairSession(
+                self.base,
+                layer_index,
+                norm=self.norm,
+                backend=self.backend,
+                delta_bound=self.delta_bound,
+                sparse=self.sparse,
+                warm_start=self.warm_start,
+            )
+        session = self._session
+        if len(self.pool) > session.num_points:
+            appended = session.append_points(
+                self.pool.point_spec(margin=self.repair_margin, start=session.num_points)
+            )
+            record.lp_rows_appended += appended
+        result = session.solve()
+        solution = session.last_solution
+        record.warm_start_used = bool(solution.warm_start_used)
+        record.lp_iterations = solution.iterations
+        return result
 
     def _engine_stats(self) -> dict | None:
         """Stats of the engine verification actually ran through.

@@ -82,22 +82,30 @@ class CounterexamplePool:
     # ------------------------------------------------------------------
     # Repair interface
     # ------------------------------------------------------------------
-    def point_spec(self, margin: float = 0.0) -> PointRepairSpec:
-        """The pool as a pointwise repair specification.
+    def point_spec(self, margin: float = 0.0, start: int = 0) -> PointRepairSpec:
+        """The pool (from index ``start``) as a pointwise repair specification.
 
         ``margin`` tightens every constraint (``b → b - margin``) so the
         repaired outputs land strictly inside their polytopes and survive
         re-verification under a stricter-than-LP-solver tolerance.
+        ``start`` slices off an already-encoded prefix: the incremental
+        repair driver appends each round only the counterexamples pooled
+        since the previous round (the pool is insertion-ordered and entries
+        are never removed, so a prefix count identifies them exactly).
         """
-        if not self._counterexamples:
-            raise ValueError("cannot build a repair spec from an empty pool")
-        points = np.array([c.point for c in self._counterexamples])
+        if not 0 <= start <= len(self._counterexamples):
+            raise ValueError(
+                f"start index {start} outside pool of {len(self._counterexamples)}"
+            )
+        selected = self._counterexamples[start:]
+        if not selected:
+            raise ValueError("cannot build a repair spec from an empty pool slice")
+        points = np.array([c.point for c in selected])
         activation_points = np.array(
-            [c.resolved_activation_point() for c in self._counterexamples]
+            [c.resolved_activation_point() for c in selected]
         )
         constraints = [
-            HPolytope(c.constraint.a, c.constraint.b - margin)
-            for c in self._counterexamples
+            HPolytope(c.constraint.a, c.constraint.b - margin) for c in selected
         ]
         return PointRepairSpec(
             points=points, constraints=constraints, activation_points=activation_points

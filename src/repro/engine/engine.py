@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.cache import BoundedLru, PartitionCache
-from repro.engine.jobs import JobScheduler
+from repro.engine.jobs import JobScheduler, chunk_spans
 from repro.engine.sharding import merge_line_partitions, shard_polygon, shard_segment
 from repro.engine.worker import encode_region, run_task
 from repro.exceptions import EngineError
@@ -334,6 +334,42 @@ class ShardedSyrennEngine:
             for batch, activation in zip(batches, activation_points)
         ]
         return self._gather(tasks, budget)
+
+    def evaluate_regions(
+        self,
+        network,
+        vertices: np.ndarray,
+        activations: np.ndarray,
+        *,
+        chunk_rows: int = 1024,
+        budget: TimeBudget | None = None,
+    ) -> np.ndarray:
+        """Outputs for stacked linear-region vertices with per-row activations.
+
+        This is the batched **value-only re-verification job**: when a
+        repair round changed only the value channel, the exact verifier's
+        cached decomposition is still valid, and re-verification reduces to
+        pushing every cached vertex (paired with its linear region's
+        interior point as the pinned activation) through the updated
+        network.  ``vertices`` and ``activations`` are ``(k, n)`` stacks
+        covering every linear region of the spec; the rows are split into
+        ``chunk_rows``-sized tasks so the pool can work on one verification
+        pass concurrently, and the merged ``(k, m)`` output preserves row
+        order regardless of worker count.
+        """
+        vertices = np.atleast_2d(np.asarray(vertices, dtype=np.float64))
+        activations = np.atleast_2d(np.asarray(activations, dtype=np.float64))
+        if activations.shape != vertices.shape:
+            raise EngineError("one activation row per vertex row is required")
+        fingerprint, payload = self._payload(network)
+        tasks = [
+            ("evaluate_regions", fingerprint, payload, vertices[start:stop], activations[start:stop])
+            for start, stop in chunk_spans(vertices.shape[0], chunk_rows)
+        ]
+        results = self._gather(tasks, budget)
+        if not results:
+            return np.zeros((0, network.output_size))
+        return np.vstack(results)
 
     def sample_regions(
         self,

@@ -44,6 +44,19 @@ def _run_callables(tasks: list[Any]) -> list[Any]:
     return [task() for task in tasks]
 
 
+def chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` spans covering ``range(total)``.
+
+    The engine uses this to split one large batched job (e.g. re-evaluating
+    every cached vertex of a specification) into fixed-size tasks: the span
+    layout depends only on ``total`` and ``chunk_size`` — never on the
+    worker count — so merged results are deterministic.
+    """
+    if chunk_size < 1:
+        raise EngineError("chunk_size must be positive")
+    return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
+
+
 @dataclass
 class Job:
     """One scheduled task with its lifecycle state."""

@@ -17,6 +17,10 @@ Task tuples understood by :func:`run_task`:
   ``(input_vertices, plane_vertices)`` pairs of ``transform_plane``;
 * ``("evaluate", fingerprint, payload, points, activation_point)`` →
   batched network outputs, optionally pinned to an activation point (DDNN);
+* ``("evaluate_regions", fingerprint, payload, points, activations)`` →
+  batched network outputs with a *per-row* pinned activation point — the
+  value-only re-verification fast path ships every cached linear-region
+  vertex with its region's interior point in one stacked pair of arrays;
 * ``("sample", fingerprint, payload, region, seed, num_samples)`` →
   ``(points, outputs)`` with the points drawn worker-side from a generator
   built from the derived per-region ``seed``.
@@ -90,6 +94,14 @@ def run_task(task: tuple):
         # The shared helper applies activation_point only to DDNNs, exactly
         # like a serial verifier sweep would.
         return Verifier._evaluate(network, points, activation_point)
+    if kind == "evaluate_regions":
+        from repro.core.ddnn import DecoupledNetwork
+
+        _, fingerprint, payload, points, activations = task
+        network = _resolve_network(fingerprint, payload)
+        if isinstance(network, DecoupledNetwork):
+            return np.atleast_2d(network.compute(points, activations))
+        return np.atleast_2d(network.compute(points))
     if kind == "sample":
         _, fingerprint, payload, encoded_region, seed, num_samples = task
         network = _resolve_network(fingerprint, payload)

@@ -15,14 +15,16 @@ objectives, and the ℓ1/ℓ∞ norm objectives used by the repair algorithms
 (encoded with auxiliary variables, see :mod:`repro.lp.norms`).
 """
 
-from repro.lp.model import LPModel, LPSolution
+from repro.lp.model import LPModel, LPSession, LPSolution, WarmStart
 from repro.lp.status import LPStatus
 from repro.lp.expression import LinearExpression
 from repro.lp.backends import available_backends, get_backend
 
 __all__ = [
     "LPModel",
+    "LPSession",
     "LPSolution",
+    "WarmStart",
     "LPStatus",
     "LinearExpression",
     "available_backends",

@@ -7,7 +7,7 @@ import abc
 import numpy as np
 import scipy.sparse as sp
 
-from repro.lp.model import LPSolution
+from repro.lp.model import LPSolution, WarmStart
 
 
 class LPBackend(abc.ABC):
@@ -22,6 +22,20 @@ class LPBackend(abc.ABC):
     #: still accept sparse inputs by densifying them (see :meth:`as_dense`).
     supports_sparse: bool = False
 
+    @property
+    def warm_start_is_exact(self) -> bool:
+        """Whether warm-started solves are byte-identical to cold solves.
+
+        A warm start that changes the solver's pivot path may land on a
+        *different* vertex of a degenerate optimal face — still optimal, but
+        not the same bytes a cold solve returns.  Backends that exploit a
+        handle must override this to ``False``; the default ``True`` covers
+        backends that ignore handles entirely (a cold solve *is* the warm
+        solve).  Callers that pin byte-level reproducibility (the
+        incremental repair driver's differential tests) consult this flag.
+        """
+        return True
+
     @abc.abstractmethod
     def solve(
         self,
@@ -31,6 +45,7 @@ class LPBackend(abc.ABC):
         a_eq,
         b_eq: np.ndarray,
         bounds: np.ndarray,
+        warm_start: WarmStart | None = None,
     ) -> LPSolution:
         """Solve ``min c@x  s.t.  a_ub@x<=b_ub, a_eq@x==b_eq, bounds``.
 
@@ -38,6 +53,13 @@ class LPBackend(abc.ABC):
         matrices (see ``LPModel.standard_form``); ``bounds`` is an ``(n, 2)``
         array of per-variable ``(lower, upper)`` pairs; entries may be
         ``±inf``.
+
+        ``warm_start`` is a handle from a previous solve of a smaller
+        version of the same model (same variables, fewer rows).  Backends
+        may exploit it, but must fall back to a cold solve *silently* when
+        they cannot — an incompatible or stale handle is never an error.
+        The returned solution's ``warm_start_used`` says what happened, and
+        its ``warm_start`` carries the handle for the next solve.
         """
         raise NotImplementedError
 

@@ -6,7 +6,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.lp.backends.base import LPBackend
-from repro.lp.model import LPSolution
+from repro.lp.model import LPSolution, WarmStart
 from repro.lp.status import LPStatus
 
 #: Mapping from ``scipy.optimize.linprog`` status codes to :class:`LPStatus`.
@@ -17,6 +17,11 @@ _STATUS_MAP = {
     3: LPStatus.UNBOUNDED,
     4: LPStatus.ERROR,
 }
+
+#: ``linprog`` methods that accept an ``x0`` initial guess.  HiGHS (the
+#: default) does not — passing ``x0`` there only raises an OptimizeWarning —
+#: so warm starts silently fall back to cold solves for every other method.
+_X0_METHODS = frozenset({"revised simplex"})
 
 
 def _num_entries(matrix) -> int:
@@ -43,23 +48,58 @@ class ScipyBackend(LPBackend):
     def __init__(self, method: str = "highs") -> None:
         self.method = method
 
-    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds) -> LPSolution:
+    @property
+    def warm_start_is_exact(self) -> bool:
+        """HiGHS ignores warm starts entirely, so they cannot change bytes."""
+        return self.method not in _X0_METHODS
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None) -> LPSolution:
         bounds_list = [(row[0], row[1]) for row in np.asarray(bounds, dtype=float)]
-        result = linprog(
-            c,
-            A_ub=a_ub if _num_entries(a_ub) else None,
-            b_ub=b_ub if _num_entries(a_ub) else None,
-            A_eq=a_eq if _num_entries(a_eq) else None,
-            b_eq=b_eq if _num_entries(a_eq) else None,
-            bounds=bounds_list,
-            method=self.method,
-        )
+        x0 = None
+        if (
+            warm_start is not None
+            and self.method in _X0_METHODS
+            and warm_start.values.shape == np.shape(c)
+        ):
+            x0 = warm_start.values
+
+        def run(guess):
+            return linprog(
+                c,
+                A_ub=a_ub if _num_entries(a_ub) else None,
+                b_ub=b_ub if _num_entries(a_ub) else None,
+                A_eq=a_eq if _num_entries(a_eq) else None,
+                b_eq=b_eq if _num_entries(a_eq) else None,
+                bounds=bounds_list,
+                method=self.method,
+                x0=guess,
+            )
+
+        result = run(x0)
+        if x0 is not None and result.status != 0:
+            # The guess was rejected (linprog status 4 when x0 cannot be
+            # converted to a basic feasible solution — the normal case once
+            # appended rows cut off the previous optimum) or otherwise did
+            # not reach optimality: per the warm-start contract, retry cold
+            # silently rather than surface a spurious failure.
+            x0 = None
+            result = run(None)
         status = _STATUS_MAP.get(result.status, LPStatus.ERROR)
+        iterations = int(result.nit) if getattr(result, "nit", None) is not None else None
         if status is LPStatus.OPTIMAL and result.x is not None:
+            values = np.asarray(result.x, dtype=np.float64)
             return LPSolution(
                 status=status,
-                values=np.asarray(result.x, dtype=np.float64),
+                values=values,
                 objective=float(result.fun),
                 message=str(result.message),
+                iterations=iterations,
+                warm_start=WarmStart(backend=self.name, values=values),
+                warm_start_used=x0 is not None,
             )
-        return LPSolution(status=status, message=str(result.message))
+        return LPSolution(
+            status=status,
+            message=str(result.message),
+            iterations=iterations,
+            warm_start_used=x0 is not None,
+        )

@@ -36,6 +36,33 @@ from repro.lp.status import LPStatus
 
 
 @dataclass
+class WarmStart:
+    """Solver state captured from one solve, reusable on an extended model.
+
+    A warm start is only meaningful between two solves of the *same model
+    family*: the same variables (count, order, bounds) and a constraint set
+    that only grew — exactly what an :class:`LPSession` produces round after
+    round.  The handle is backend-specific: ``payload`` is opaque to
+    everything except the backend whose ``backend`` name it carries, and a
+    backend handed a handle it cannot use (or from another backend) must
+    fall back to a cold solve silently.
+
+    Attributes
+    ----------
+    backend:
+        Name of the backend that produced the handle.
+    values:
+        The primal solution of the previous solve.
+    payload:
+        Backend-specific extra state (e.g. the simplex basis labels).
+    """
+
+    backend: str
+    values: np.ndarray
+    payload: dict | None = None
+
+
+@dataclass
 class LPSolution:
     """Result of solving an :class:`LPModel`.
 
@@ -49,12 +76,24 @@ class LPSolution:
         Objective value at ``values`` (``None`` unless optimal).
     message:
         Backend-specific diagnostic text.
+    iterations:
+        Solver iteration count, when the backend reports one.
+    warm_start:
+        A :class:`WarmStart` handle for re-solving an extended version of
+        the same model (``None`` when the backend cannot produce one).
+    warm_start_used:
+        Whether this solve actually consumed a warm-start handle.  Backends
+        fall back to cold solves silently, so callers that thread handles
+        through repeated solves read this flag for reporting.
     """
 
     status: LPStatus
     values: np.ndarray | None = None
     objective: float | None = None
     message: str = ""
+    iterations: int | None = None
+    warm_start: WarmStart | None = None
+    warm_start_used: bool = False
 
     def value_of(self, indices) -> np.ndarray:
         """Extract the assignment of a block of variables by index array."""
@@ -324,3 +363,196 @@ class LPModel:
         if self._num_variables == 0:
             return LPSolution(LPStatus.OPTIMAL, np.zeros(0), 0.0, "empty model")
         return solver.solve(*self.standard_form(sparse=sparse))
+
+    def incremental_session(
+        self,
+        *,
+        sparse: bool | None = None,
+        tail_blocks: int = 0,
+        backend: str | None = None,
+    ) -> "LPSession":
+        """Open an :class:`LPSession` over this model's current blocks.
+
+        See :class:`LPSession` for the incremental-assembly contract;
+        ``sparse=None`` resolves against the backend's ``supports_sparse``
+        flag exactly like :meth:`solve`.
+        """
+        return LPSession(self, sparse=sparse, tail_blocks=tail_blocks, backend=backend)
+
+
+def _widen_block_sparse(block: _ConstraintBlock, num_variables: int) -> sp.csr_matrix:
+    """One narrow constraint block as a full-width CSR matrix."""
+    local_rows, local_cols = np.nonzero(block.matrix)
+    return sp.coo_matrix(
+        (block.matrix[local_rows, local_cols], (local_rows, block.columns[local_cols])),
+        shape=(block.matrix.shape[0], num_variables),
+    ).tocsr()
+
+
+def _widen_block_dense(block: _ConstraintBlock, num_variables: int) -> np.ndarray:
+    """One narrow constraint block as a full-width dense matrix."""
+    wide = np.zeros((block.matrix.shape[0], num_variables))
+    wide[:, block.columns] = block.matrix
+    return wide
+
+
+class LPSession:
+    """An incremental solve session over a growing :class:`LPModel`.
+
+    A CEGIS repair driver solves the *same* LP round after round, each time
+    with a few more constraint rows (every round's LP is a superset of the
+    last).  Re-running :meth:`LPModel.standard_form` each round walks every
+    block again; a session instead assembles the standard form once, keeps
+    the widened per-block matrices, and :meth:`append_rows` converts only
+    the blocks added to the model since the previous call — so per-round
+    assembly cost scales with the *new* rows, not the whole model.
+
+    ``tail_blocks`` pins the last ``tail_blocks`` blocks present at session
+    creation to the bottom of the inequality/equality matrices forever:
+    rows appended later are inserted *above* them.  This exists for the
+    repair LPs, whose norm-objective rows (``-t ≤ Δ_i ≤ t``) are added once
+    after the initial constraint rows; pinning them last makes the session's
+    standard form row-for-row identical to what a cold
+    :meth:`LPModel.standard_form` over the same model would produce — which
+    is what keeps incremental and cold solves byte-identical for a
+    deterministic backend.
+
+    Sessions do not support adding variables after creation
+    (:meth:`append_rows` raises); the repair LPs fix their delta and
+    auxiliary variables up front.
+    """
+
+    def __init__(
+        self,
+        model: LPModel,
+        *,
+        sparse: bool | None = None,
+        tail_blocks: int = 0,
+        backend: str | None = None,
+    ) -> None:
+        from repro.lp.backends import get_backend
+
+        self.model = model
+        self.backend_name = backend
+        self._solver = get_backend(backend)
+        self.sparse = self._solver.supports_sparse if sparse is None else bool(sparse)
+        if not 0 <= tail_blocks <= len(model._blocks):
+            raise LPError(
+                f"tail_blocks is {tail_blocks}, model has {len(model._blocks)} blocks"
+            )
+        self._num_variables = model.num_variables
+        # Widened per-block parts, in row order: head parts grow via
+        # append_rows, tail parts are pinned to the bottom.
+        self._ub_parts: list = []
+        self._ub_rhs: list[np.ndarray] = []
+        self._eq_parts: list = []
+        self._eq_rhs: list[np.ndarray] = []
+        self._ub_tail: list = []
+        self._ub_tail_rhs: list[np.ndarray] = []
+        self._eq_tail: list = []
+        self._eq_tail_rhs: list[np.ndarray] = []
+        self._consumed = 0
+        self.rows_appended = 0
+        self._cached_matrices: tuple | None = None
+        head_count = len(model._blocks) - tail_blocks
+        self._consume(model._blocks[:head_count], tail=False)
+        self._consume(model._blocks[head_count:], tail=True)
+        self._consumed = len(model._blocks)
+
+    def _consume(self, blocks: list[_ConstraintBlock], tail: bool) -> int:
+        rows = 0
+        n = self._num_variables
+        for block in blocks:
+            widened = (
+                _widen_block_sparse(block, n) if self.sparse else _widen_block_dense(block, n)
+            )
+            if block.equality:
+                (self._eq_tail if tail else self._eq_parts).append(widened)
+                (self._eq_tail_rhs if tail else self._eq_rhs).append(block.rhs)
+            else:
+                (self._ub_tail if tail else self._ub_parts).append(widened)
+                (self._ub_tail_rhs if tail else self._ub_rhs).append(block.rhs)
+            rows += block.matrix.shape[0]
+        return rows
+
+    def append_rows(self) -> int:
+        """Widen the blocks added to the model since the last call.
+
+        Returns the number of constraint rows appended.  Raises
+        :class:`LPError` if variables were added after session creation —
+        widened matrices from earlier rounds would be too narrow.
+        """
+        if self.model.num_variables != self._num_variables:
+            raise LPError(
+                "the model grew from "
+                f"{self._num_variables} to {self.model.num_variables} variables; "
+                "incremental sessions only support appending constraint rows"
+            )
+        new_blocks = self.model._blocks[self._consumed :]
+        rows = self._consume(new_blocks, tail=False)
+        self._consumed = len(self.model._blocks)
+        if rows:
+            self.rows_appended += rows
+            self._cached_matrices = None
+        return rows
+
+    @property
+    def num_rows(self) -> int:
+        """Constraint rows currently assembled (head plus pinned tail)."""
+        return sum(int(rhs.shape[0]) for rhs in
+                   (*self._ub_rhs, *self._ub_tail_rhs, *self._eq_rhs, *self._eq_tail_rhs))
+
+    def _stack(self, parts: list, rhs_parts: list[np.ndarray]):
+        n = self._num_variables
+        if not parts:
+            empty = sp.csr_matrix((0, n)) if self.sparse else np.zeros((0, n))
+            return empty, np.zeros(0)
+        stacker = sp.vstack if self.sparse else np.vstack
+        matrix = stacker(parts) if len(parts) > 1 else parts[0]
+        if self.sparse:
+            matrix = matrix.tocsr()
+        return matrix, np.concatenate(rhs_parts)
+
+    def standard_form(self):
+        """The assembled ``(c, A_ub, b_ub, A_eq, b_eq, bounds)``.
+
+        The constraint matrices are cached between :meth:`append_rows`
+        calls; ``c`` and ``bounds`` are rebuilt from the model each time
+        (both are O(variables) and objective coefficients may legally change
+        between solves).
+        """
+        if self.model.num_variables != self._num_variables:
+            raise LPError(
+                "the model grew variables after session creation; "
+                "incremental sessions only support appending constraint rows"
+            )
+        if self._cached_matrices is None:
+            self._cached_matrices = (
+                self._stack(self._ub_parts + self._ub_tail, self._ub_rhs + self._ub_tail_rhs),
+                self._stack(self._eq_parts + self._eq_tail, self._eq_rhs + self._eq_tail_rhs),
+            )
+        (a_ub, b_ub), (a_eq, b_eq) = self._cached_matrices
+        n = self._num_variables
+        c = np.zeros(n)
+        for index, coefficient in self.model._objective.items():
+            c[index] = coefficient
+        bounds = (
+            np.column_stack([self.model._lower[:n], self.model._upper[:n]])
+            if n
+            else np.zeros((0, 2))
+        )
+        return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    def solve(self, warm_start: WarmStart | None = None) -> LPSolution:
+        """Solve the current form, optionally warm-started.
+
+        The returned solution carries a fresh ``warm_start`` handle (when
+        the backend produces one) for the next, further-extended solve;
+        handles from a different backend are dropped here rather than handed
+        to a solver that cannot interpret them.
+        """
+        if self._num_variables == 0:
+            return LPSolution(LPStatus.OPTIMAL, np.zeros(0), 0.0, "empty model")
+        if warm_start is not None and warm_start.backend != self._solver.name:
+            warm_start = None
+        return self._solver.solve(*self.standard_form(), warm_start=warm_start)

@@ -49,7 +49,9 @@ def convex_hull(points: np.ndarray) -> np.ndarray:
         hull: list[np.ndarray] = []
         for point in candidates:
             while len(hull) >= 2:
-                cross = np.cross(hull[-1] - hull[-2], point - hull[-2])
+                # 2-D cross product written out (np.cross dropped 2-D support).
+                first, second = hull[-1] - hull[-2], point - hull[-2]
+                cross = first[0] * second[1] - first[1] * second[0]
                 if cross <= 0:
                     hull.pop()
                 else:

@@ -96,6 +96,12 @@ def save_arrays(path: Path, arrays: dict[str, np.ndarray]) -> None:
 
 
 def load_arrays(path: Path) -> dict[str, np.ndarray]:
-    """Load a name→array mapping saved by :func:`save_arrays`."""
-    with np.load(path) as data:
-        return {key: np.array(data[key]) for key in data.files}
+    """Load a name→array mapping saved by :func:`save_arrays`.
+
+    The file handle is opened here rather than by ``np.load`` so a corrupt
+    (torn-write) file cannot leak an unclosed descriptor when ``np.load``
+    raises before constructing its context manager.
+    """
+    with open(path, "rb") as stream:
+        with np.load(stream) as data:
+            return {key: np.array(data[key]) for key in data.files}

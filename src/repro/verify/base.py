@@ -173,6 +173,10 @@ class VerificationReport:
     points_checked: int = 0
     linear_regions_checked: int = 0
     seconds: float = 0.0
+    #: Whether this pass took the value-only fast path: the activation
+    #: network was unchanged since the last pass, so cached linear-region
+    #: vertex sets were re-evaluated without any decomposition work.
+    value_only: bool = False
 
     @property
     def num_regions(self) -> int:
@@ -223,6 +227,7 @@ class VerificationReport:
             "linear_regions_checked": self.linear_regions_checked,
             "max_margin": self.max_margin,
             "seconds": self.seconds,
+            "value_only": self.value_only,
         }
 
 

@@ -27,6 +27,7 @@ any worker count is byte-identical to the serial one.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -60,6 +61,16 @@ class SyrennVerifier(Verifier):
     call and the engine's partition cache replaces the verifier's private
     in-memory cache; ``cache_partitions=False`` bypasses the engine cache
     for this verifier's calls without clearing it for other consumers.
+
+    ``value_only=True`` enables the **value-only re-verification fast
+    path**: when a pass finds the activation network's fingerprint and the
+    spec's geometry digests unchanged since the previous pass, it skips
+    decomposition (and even cache lookups) entirely and re-evaluates the
+    cached vertex stack through the updated network — as one in-process
+    batched forward pass, or as a chunked ``evaluate_regions`` engine job
+    when an engine is attached.  This is sound exactly because value-channel
+    repairs never move linear-region boundaries (Theorem 4.6); the
+    incremental repair driver enables the flag for the duration of its run.
     """
 
     name = "syrenn"
@@ -69,11 +80,19 @@ class SyrennVerifier(Verifier):
         tolerance: float = DEFAULT_TOLERANCE,
         cache_partitions: bool = True,
         engine=None,
+        value_only: bool = False,
     ) -> None:
         super().__init__(tolerance)
         self.cache_partitions = cache_partitions
         self.engine = engine
+        self.value_only = value_only
+        self.value_only_verifications = 0
         self._cache: dict[tuple, list[LinearRegion]] = {}
+        # Single-slot cache backing the value-only fast path: the previous
+        # pass's decomposition plus its vertex/activation stacks, keyed by
+        # (activation fingerprint, per-region geometry digests).  One slot
+        # suffices: a repair driver re-verifies the same spec every round.
+        self._value_only_slot: tuple | None = None
 
     def verify(
         self, network: Network | DecoupledNetwork, spec: VerificationSpec
@@ -85,7 +104,27 @@ class SyrennVerifier(Verifier):
             network.activation if isinstance(network, DecoupledNetwork) else network
         )
         normalized = [_normalize_region(entry.region) for entry in spec.regions]
+
+        fast_key = None
+        if self.value_only:
+            # The fast path is gated on the *activation* network fingerprint:
+            # value-channel edits (what repair applies) never move linear
+            # region boundaries (Theorem 4.6), so an unchanged fingerprint
+            # means the cached decomposition is exact for this network too.
+            fast_key = (
+                network_fingerprint(activation_network),
+                tuple(
+                    geometry_digest(region) if region is not None else None
+                    for region in normalized
+                ),
+            )
+            slot = self._value_only_slot
+            if slot is not None and slot.key == fast_key:
+                self.value_only_verifications += 1
+                return self._verify_value_only(network, spec, slot, start)
         decomposed = self._decompose_all(activation_network, normalized)
+        if fast_key is not None:
+            self._value_only_slot = _ValueOnlyCache.build(fast_key, decomposed)
 
         statuses: list[RegionStatus] = []
         margins: list[float] = []
@@ -136,6 +175,94 @@ class SyrennVerifier(Verifier):
         )
 
     # ------------------------------------------------------------------
+    # The value-only fast path
+    # ------------------------------------------------------------------
+    def _verify_value_only(
+        self, network, spec: VerificationSpec, cache: "_ValueOnlyCache", start: float
+    ) -> VerificationReport:
+        """Re-verify from cached decomposition with batched evaluation.
+
+        Produces byte-identical verdicts, margins, and counterexamples (in
+        identical order) to the slow path: all arithmetic is row-wise — one
+        stacked forward pass, one ``violation_batch`` per distinct output
+        constraint over its regions' gathered rows, and per-region maxima
+        via ``np.maximum.reduceat`` (max is exact, so the grouping cannot
+        change any value).
+        """
+        outputs = self._evaluate_stacked(network, cache.vertices, cache.activations)
+        margins_all = np.empty(outputs.shape[0])
+        # One batched margin computation per *distinct* constraint: the
+        # strengthened ACAS specs reuse a handful of output polytopes across
+        # hundreds of regions, so this collapses the per-region Python loop
+        # into a few large matmuls.
+        groups: dict[bytes, tuple] = {}
+        for region_index, entry in enumerate(spec.regions):
+            span = cache.region_spans[region_index]
+            if span is None:
+                continue
+            digest = entry.constraint.a.tobytes() + entry.constraint.b.tobytes()
+            if digest not in groups:
+                groups[digest] = (entry.constraint, [])
+            groups[digest][1].append(span)
+        for constraint, spans in groups.values():
+            rows = np.concatenate([np.arange(s, e) for s, e in spans])
+            margins_all[rows] = constraint.violation_batch(outputs[rows])
+
+        supported = [i for i, span in enumerate(cache.region_spans) if span is not None]
+        statuses: list[RegionStatus] = [RegionStatus.UNKNOWN] * spec.num_regions
+        margins: list[float] = [float("-inf")] * spec.num_regions
+        if supported:
+            starts = np.array([cache.region_spans[i][0] for i in supported])
+            region_maxes = np.maximum.reduceat(margins_all, starts)
+            for position, region_index in enumerate(supported):
+                margin = float(region_maxes[position])
+                margins[region_index] = margin
+                statuses[region_index] = (
+                    RegionStatus.VIOLATED if margin > self.tolerance else RegionStatus.CERTIFIED
+                )
+
+        counterexamples: list[Counterexample] = []
+        for row in np.where(margins_all > self.tolerance)[0]:
+            region_index = int(cache.row_region[row])
+            counterexamples.append(
+                Counterexample(
+                    point=cache.vertices[row].copy(),
+                    constraint=spec.regions[region_index].constraint,
+                    margin=float(margins_all[row]),
+                    region_index=region_index,
+                    activation_point=cache.interiors[cache.row_interior[row]].copy(),
+                )
+            )
+        return VerificationReport(
+            verifier=self.name,
+            region_statuses=statuses,
+            region_margins=margins,
+            counterexamples=counterexamples,
+            points_checked=int(cache.vertices.shape[0]),
+            linear_regions_checked=cache.total_linear_regions,
+            seconds=time.perf_counter() - start,
+            value_only=True,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_stacked(
+        self, network, vertex_stack: np.ndarray, activation_stack: np.ndarray
+    ) -> np.ndarray:
+        """Outputs for every cached vertex, with per-row pinned activations.
+
+        With an engine the stack runs as one batched ``evaluate_regions``
+        job (chunked across the worker pool); without one it is a single
+        in-process batched forward pass — either way replacing the
+        per-linear-region evaluation loop of the slow path.
+        """
+        if vertex_stack.shape[0] == 0:
+            return np.zeros((0, network.output_size))
+        if self.engine is not None:
+            return self.engine.evaluate_regions(network, vertex_stack, activation_stack)
+        if isinstance(network, DecoupledNetwork):
+            return np.atleast_2d(network.compute(vertex_stack, activation_stack))
+        return np.atleast_2d(network.compute(vertex_stack))
+
     def _decompose_all(
         self, activation_network: Network, normalized: list
     ) -> list[list[LinearRegion] | None]:
@@ -182,6 +309,71 @@ class SyrennVerifier(Verifier):
         if self.cache_partitions:
             self._cache[cache_key] = linear_regions
         return linear_regions
+
+
+@dataclass
+class _ValueOnlyCache:
+    """Everything the value-only fast path needs from a decomposition.
+
+    Rows follow the slow path's iteration order (spec regions in order,
+    linear regions in order, vertices in order), so batched results map back
+    by row index.  ``row_region``/``row_interior`` resolve a violating row to
+    its spec region and its linear region's interior point; unsupported
+    (3D+ box) regions have a ``None`` span and contribute no rows.
+    """
+
+    key: tuple
+    vertices: np.ndarray
+    activations: np.ndarray
+    region_spans: list[tuple[int, int] | None]
+    row_region: np.ndarray
+    row_interior: np.ndarray
+    interiors: list[np.ndarray]
+    total_linear_regions: int
+
+    @classmethod
+    def build(cls, key: tuple, decomposed: list) -> "_ValueOnlyCache":
+        vertices: list[np.ndarray] = []
+        activations: list[np.ndarray] = []
+        region_spans: list[tuple[int, int] | None] = []
+        row_region: list[int] = []
+        row_interior: list[int] = []
+        interiors: list[np.ndarray] = []
+        total_linear_regions = 0
+        cursor = 0
+        for region_index, linear_regions in enumerate(decomposed):
+            if linear_regions is None:
+                region_spans.append(None)
+                continue
+            total_linear_regions += len(linear_regions)
+            span_start = cursor
+            for linear_region in linear_regions:
+                count = linear_region.vertices.shape[0]
+                vertices.append(linear_region.vertices)
+                activations.append(
+                    np.broadcast_to(linear_region.interior, linear_region.vertices.shape)
+                )
+                row_region.extend([region_index] * count)
+                row_interior.extend([len(interiors)] * count)
+                interiors.append(linear_region.interior)
+                cursor += count
+            region_spans.append((span_start, cursor))
+        if vertices:
+            vertex_stack = np.vstack(vertices)
+            activation_stack = np.ascontiguousarray(np.vstack(activations))
+        else:
+            vertex_stack = np.zeros((0, 0))
+            activation_stack = np.zeros((0, 0))
+        return cls(
+            key=key,
+            vertices=vertex_stack,
+            activations=activation_stack,
+            region_spans=region_spans,
+            row_region=np.array(row_region, dtype=int),
+            row_interior=np.array(row_interior, dtype=int),
+            interiors=interiors,
+            total_linear_regions=total_linear_regions,
+        )
 
 
 def _normalize_region(region) -> LineSegment | np.ndarray | None:

@@ -9,12 +9,13 @@ from repro.models.toy import paper_network_n1, paper_network_n2
 from repro.nn.activations import ReLULayer, TanhLayer
 from repro.nn.linear import FullyConnectedLayer
 from repro.nn.network import Network
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for tests."""
-    return np.random.default_rng(12345)
+    return ensure_rng(12345)
 
 
 @pytest.fixture

@@ -1,0 +1,529 @@
+"""Tests for the incremental CEGIS infrastructure.
+
+Three layers of pinning:
+
+* a **property-based oracle** (hypothesis) for the paper's partition-
+  invariance claim — value-channel point repair never changes the
+  activation network's linear-region geometry, which is what makes the
+  value-only re-verification fast path sound by construction;
+* a **differential matrix** (hls4ml-style ``parametrize`` over backend ×
+  sparse × warm-start × workers) asserting incremental driver runs
+  reproduce cold runs on the strengthened ACAS φ8 spec — byte-identically
+  whenever the backend's warm start is exact;
+* unit tests for the new pieces: :class:`LPSession` append/solve,
+  :class:`WarmStart` handling in both backends, the engine's
+  ``evaluate_regions`` job, and the driver's incremental bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ddnn import DecoupledNetwork
+from repro.core.point_repair import IncrementalPointRepairSession, point_repair
+from repro.core.specs import PointRepairSpec
+from repro.datasets.acas import phi8_property
+from repro.driver import RepairDriver
+from repro.engine import ShardedSyrennEngine
+from repro.engine.jobs import chunk_spans
+from repro.exceptions import EngineError, LPError, RepairError
+from repro.experiments.task3_acas import Task3Setup, strengthened_verification_spec
+from repro.lp.backends import get_backend
+from repro.lp.model import LPModel, WarmStart
+from repro.lp.norms import add_norm_objective
+from repro.lp.status import LPStatus
+from repro.models.acas_models import build_acas_network
+from repro.polytope.segment import LineSegment
+from repro.syrenn.line import transform_line
+from repro.syrenn.plane import transform_plane
+from repro.syrenn.regions import geometry_digest
+from repro.utils.rng import ensure_rng
+from repro.utils.serialization import network_fingerprint
+from repro.verify import SyrennVerifier
+from tests.conftest import make_random_relu_network
+
+
+@pytest.fixture(scope="module")
+def acas_phi8():
+    """A small untrained ACAS advisory network plus the strengthened φ8 spec."""
+    seed_rng = ensure_rng(7)
+    network = build_acas_network(hidden_size=8, hidden_layers=2, seed=7)
+    safety_property = phi8_property()
+    slices = [safety_property.random_slice(seed_rng) for _ in range(3)]
+    empty = np.zeros((0, 5))
+    setup = Task3Setup(network, safety_property, slices, empty, empty, 0)
+    return network, strengthened_verification_spec(network, setup)
+
+
+def value_parameters(report) -> list[bytes]:
+    return [
+        report.network.value.layers[index].get_parameters().tobytes()
+        for index in report.network.repairable_layer_indices()
+    ]
+
+
+def assert_reports_identical(first, second) -> None:
+    assert first.region_statuses == second.region_statuses
+    assert first.region_margins == second.region_margins
+    assert first.points_checked == second.points_checked
+    assert first.linear_regions_checked == second.linear_regions_checked
+    assert len(first.counterexamples) == len(second.counterexamples)
+    for a, b in zip(first.counterexamples, second.counterexamples):
+        assert a.point.tobytes() == b.point.tobytes()
+        assert a.margin == b.margin
+        assert a.region_index == b.region_index
+        assert a.resolved_activation_point().tobytes() == (
+            b.resolved_activation_point().tobytes()
+        )
+
+
+class TestPartitionInvariance:
+    """The paper's Theorem 4.6, pinned as a property-based oracle.
+
+    Value-channel repair must leave the activation network — and therefore
+    every linear-region boundary — untouched, byte for byte.  This is the
+    soundness argument of the value-only re-verification fast path: if these
+    digests could move, re-evaluating cached vertex sets would be wrong.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_geometry_digests_unchanged_by_point_repair(self, seed):
+        rng = ensure_rng(seed)
+        network = make_random_relu_network(rng, (2, 8, 6, 3))
+        ddnn = DecoupledNetwork.from_network(network)
+        segment = LineSegment(rng.uniform(-1, 0, 2), rng.uniform(0.5, 1.5, 2))
+        square = np.array([[-1.0, -1.0], [1.0, -1.0], [1.0, 1.0], [-1.0, 1.0]])
+
+        def digests(ddnn_under_test) -> tuple:
+            activation = ddnn_under_test.activation
+            line = transform_line(activation, segment)
+            plane = transform_plane(activation, square)
+            return (
+                network_fingerprint(activation),
+                geometry_digest(segment),
+                tuple(geometry_digest(region.vertices) for region in line.regions),
+                tuple(
+                    geometry_digest(region.input_vertices) for region in plane.regions
+                ),
+            )
+
+        before = digests(ddnn)
+        points = rng.uniform(-1.0, 1.0, size=(4, 2))
+        labels = rng.integers(0, 3, size=4)
+        spec = PointRepairSpec.from_labels(points, labels, num_classes=3, margin=1e-4)
+        result = point_repair(
+            ddnn, ddnn.repairable_layer_indices()[-1], spec
+        )
+        assume(result.feasible)
+        assert result.delta is not None
+        after = digests(result.network)
+        # Byte-identical digests per region: the partition geometry did not
+        # move, even though the repaired function did.
+        assert after == before
+        assert network_fingerprint(result.network.activation) == before[0]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_value_only_fast_path_is_exact_on_random_networks(self, seed):
+        """Fast-path reports equal slow-path reports on the repaired DDNN."""
+        rng = ensure_rng(seed)
+        network = make_random_relu_network(rng, (2, 8, 6, 3))
+        ddnn = DecoupledNetwork.from_network(network)
+        from repro.polytope.hpolytope import HPolytope
+        from repro.verify import VerificationSpec
+
+        spec = VerificationSpec()
+        winner = int(np.bincount(network.predict(rng.uniform(-1, 1, (64, 2)))).argmax())
+        spec.add_plane(
+            [[-1, -1], [1, -1], [1, 1], [-1, 1]],
+            HPolytope.argmax_region(3, winner, 1e-4),
+        )
+        layer_index = ddnn.repairable_layer_indices()[-1]
+        delta = 0.05 * rng.normal(size=ddnn.value.layers[layer_index].num_parameters)
+        repaired = ddnn.copy()
+        repaired.apply_parameter_delta(layer_index, delta)
+
+        fast = SyrennVerifier(value_only=True)
+        fast.verify(ddnn, spec)  # populate the fast-path slot
+        fast_report = fast.verify(repaired, spec)
+        slow_report = SyrennVerifier().verify(repaired, spec)
+        assert fast_report.value_only
+        assert fast.value_only_verifications == 1
+        assert_reports_identical(slow_report, fast_report)
+
+
+class TestIncrementalDifferential:
+    """Incremental driver runs must reproduce cold runs on the φ8 spec."""
+
+    @pytest.mark.parametrize(
+        "backend,sparse,warm,workers",
+        [
+            ("scipy", True, True, 1),
+            ("scipy", False, True, 1),
+            ("scipy", True, False, 1),
+            ("scipy", True, True, 2),
+            ("simplex", False, False, 1),
+            ("simplex", True, True, 1),
+        ],
+    )
+    def test_incremental_matches_cold(self, acas_phi8, backend, sparse, warm, workers):
+        network, spec = acas_phi8
+
+        def run(incremental, engine=None):
+            return RepairDriver(
+                network,
+                spec,
+                SyrennVerifier(engine=engine),
+                max_rounds=20,
+                incremental=incremental,
+                warm_start=warm,
+                max_new_counterexamples=4,
+                backend=backend,
+                sparse=sparse,
+            ).run()
+
+        cold = run(False)
+        if workers > 1:
+            with ShardedSyrennEngine(workers=workers, cache=False) as engine:
+                incremental = run(True, engine=engine)
+        else:
+            incremental = run(True)
+
+        assert cold.status == "certified"
+        assert incremental.status == "certified"
+        assert incremental.incremental and not cold.incremental
+        assert incremental.value_only_rounds > 0
+        assert incremental.unsatisfied_pool_indices == []
+
+        exact = not warm or get_backend(backend).warm_start_is_exact
+        if exact:
+            # Bit-for-bit: same verdicts, margins, round trajectory, deltas.
+            assert incremental.num_rounds == cold.num_rounds
+            assert (
+                incremental.final_report.region_statuses
+                == cold.final_report.region_statuses
+            )
+            assert (
+                incremental.final_report.region_margins
+                == cold.final_report.region_margins
+            )
+            assert value_parameters(incremental) == value_parameters(cold)
+            for cold_round, incremental_round in zip(cold.rounds, incremental.rounds):
+                assert incremental_round.pool_size == cold_round.pool_size
+                assert incremental_round.layer_index == cold_round.layer_index
+        else:
+            # The simplex hot start pivots differently, so a degenerate
+            # optimal face may resolve to a different — equally optimal —
+            # vertex; the contract is then verdict-level, and at least one
+            # round must actually have consumed the handle.
+            assert incremental.warm_started_rounds > 0
+            assert (
+                incremental.final_report.region_statuses
+                == cold.final_report.region_statuses
+            )
+
+    def test_rationed_intake_caps_pool_growth(self, acas_phi8):
+        network, spec = acas_phi8
+        report = RepairDriver(
+            network,
+            spec,
+            SyrennVerifier(),
+            max_rounds=20,
+            incremental=True,
+            max_new_counterexamples=2,
+        ).run()
+        assert report.status == "certified"
+        assert all(record.new_counterexamples <= 2 for record in report.rounds)
+        # Rationing must force a genuinely multi-round run on this workload.
+        assert report.num_rounds >= 4
+
+    def test_driver_round_records_incremental_fields(self, acas_phi8):
+        network, spec = acas_phi8
+        report = RepairDriver(
+            network,
+            spec,
+            SyrennVerifier(),
+            max_rounds=20,
+            incremental=True,
+            backend="simplex",
+            max_new_counterexamples=4,
+        ).run()
+        assert report.status == "certified"
+        repaired = [r for r in report.rounds if r.repair_attempted]
+        assert repaired[0].lp_rows_appended > 0
+        assert report.lp_rows_appended == sum(r.lp_rows_appended for r in report.rounds)
+        # The simplex backend reports iteration counts and, from round 1 on,
+        # consumes its own warm-start handles.
+        assert all(r.lp_iterations is not None for r in repaired)
+        assert report.warm_started_rounds >= 1
+        assert report.value_only_rounds == sum(r.verify_value_only for r in report.rounds)
+        summary = report.as_dict()
+        for key in (
+            "incremental",
+            "lp_rows_appended",
+            "warm_started_rounds",
+            "value_only_rounds",
+            "lp_iterations",
+        ):
+            assert key in summary
+        assert summary["rounds"][0]["verify_value_only"] is False
+
+    def test_driver_restores_callers_value_only_flag(self, acas_phi8):
+        network, spec = acas_phi8
+        verifier = SyrennVerifier()
+        assert verifier.value_only is False
+        RepairDriver(
+            network, spec, verifier, max_rounds=20, incremental=True
+        ).run()
+        assert verifier.value_only is False
+
+    def test_incremental_requires_batched_engine(self, acas_phi8):
+        network, spec = acas_phi8
+        with pytest.raises(RepairError):
+            RepairDriver(
+                network, spec, SyrennVerifier(), incremental=True, batched=False
+            )
+        with pytest.raises(RepairError):
+            RepairDriver(
+                network, spec, SyrennVerifier(), max_new_counterexamples=0
+            )
+
+
+class TestIncrementalRepairSession:
+    def toy_pool_spec(self, rng, count):
+        network = make_random_relu_network(rng, (2, 8, 6, 3))
+        points = rng.uniform(-1.0, 1.0, size=(count, 2))
+        labels = rng.integers(0, 3, size=count)
+        return network, PointRepairSpec.from_labels(
+            points, labels, num_classes=3, margin=1e-4
+        )
+
+    def test_session_matches_cold_point_repair(self, rng):
+        network, spec = self.toy_pool_spec(rng, 6)
+        layer_index = network.parameterized_layer_indices()[-1]
+        cold = point_repair(network, layer_index, spec)
+
+        session = IncrementalPointRepairSession(network, layer_index)
+        for index in range(spec.num_points):
+            session.append_points(
+                PointRepairSpec(
+                    points=spec.points[index : index + 1],
+                    constraints=spec.constraints[index : index + 1],
+                )
+            )
+        result = session.solve()
+        assert cold.feasible and result.feasible
+        assert result.num_key_points == spec.num_points
+        assert result.num_constraint_rows == cold.num_constraint_rows
+        # Point-by-point appends reproduce the one-shot batched LP exactly.
+        assert result.delta.tobytes() == cold.delta.tobytes()
+
+    def test_session_solves_are_monotone_supersets(self, rng):
+        network, spec = self.toy_pool_spec(rng, 5)
+        layer_index = network.parameterized_layer_indices()[-1]
+        session = IncrementalPointRepairSession(network, layer_index, backend="simplex")
+        objectives = []
+        for index in range(spec.num_points):
+            session.append_points(
+                PointRepairSpec(
+                    points=spec.points[index : index + 1],
+                    constraints=spec.constraints[index : index + 1],
+                )
+            )
+            result = session.solve()
+            assert result.feasible
+            objectives.append(result.objective_value)
+        # Each round adds constraints, so the minimal norm cannot shrink.
+        assert all(b >= a - 1e-9 for a, b in zip(objectives, objectives[1:]))
+        assert session.last_solution.warm_start_used  # round 2+ hot-started
+
+
+class TestLPSession:
+    def build_model(self, rows, rng, num_variables=5):
+        model = LPModel()
+        delta = model.add_variables(num_variables, "d")
+        add_norm_objective(model, delta, "linf")
+        model.add_leq_block(
+            rng.normal(size=(rows, num_variables)), rng.normal(size=rows) + 3.0, delta
+        )
+        return model, delta
+
+    @pytest.mark.parametrize("backend", ["scipy", "simplex"])
+    @pytest.mark.parametrize("sparse", [True, False])
+    def test_appended_session_matches_cold_model(self, rng, backend, sparse):
+        model, delta = self.build_model(6, rng)
+        session = model.incremental_session(sparse=sparse, backend=backend)
+        first = session.solve()
+        extra = rng.normal(size=(3, 5))
+        rhs = rng.normal(size=3) + 4.0
+        model.add_leq_block(extra, rhs, delta)
+        assert session.append_rows() == 3
+        second = session.solve()
+
+        cold_rng = ensure_rng(12345)
+        cold_model, cold_delta = self.build_model(6, cold_rng)
+        cold_first = cold_model.solve(backend, sparse=sparse)
+        cold_model.add_leq_block(extra, rhs, cold_delta)
+        cold_second = cold_model.solve(backend, sparse=sparse)
+        assert first.values.tobytes() == cold_first.values.tobytes()
+        assert second.values.tobytes() == cold_second.values.tobytes()
+        assert session.num_rows == cold_model.num_constraints
+
+    def test_append_rows_rejects_new_variables(self, rng):
+        model, _ = self.build_model(4, rng)
+        session = model.incremental_session()
+        model.add_variable("late")
+        with pytest.raises(LPError):
+            session.append_rows()
+        with pytest.raises(LPError):
+            session.standard_form()
+
+    def test_tail_blocks_pin_rows_to_the_bottom(self, rng):
+        model = LPModel()
+        delta = model.add_variables(5, "d")
+        model.add_leq_block(rng.normal(size=(4, 5)), rng.normal(size=4) + 3.0, delta)
+        add_norm_objective(model, delta, "linf")  # two 5-row tail blocks
+        session = model.incremental_session(sparse=False, tail_blocks=2)
+        _, a_before, *_ = session.standard_form()
+        model.add_leq_block(np.ones((1, 5)), [10.0], delta)
+        session.append_rows()
+        _, a_after, b_after, *_ = session.standard_form()
+        # The appended row sits *above* the pinned norm tail...
+        np.testing.assert_array_equal(a_after[4], np.concatenate([np.ones(5), [0.0]]))
+        # ...and the tail still occupies the bottom rows.
+        np.testing.assert_array_equal(a_after[-10:], a_before[-10:])
+        assert b_after.shape[0] == a_after.shape[0]
+
+    def test_tail_blocks_validation_and_empty_model(self):
+        model = LPModel()
+        with pytest.raises(LPError):
+            model.incremental_session(tail_blocks=1)
+        session = model.incremental_session()
+        solution = session.solve()
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.values.size == 0
+
+    def test_foreign_warm_start_is_dropped(self, rng):
+        model, _ = self.build_model(4, rng)
+        session = model.incremental_session(backend="scipy")
+        foreign = WarmStart(backend="simplex", values=np.zeros(5), payload={"n": 5})
+        solution = session.solve(warm_start=foreign)
+        assert solution.status is LPStatus.OPTIMAL
+        assert not solution.warm_start_used
+
+
+class TestWarmStartBackends:
+    def fence_model(self):
+        """min ||d||_inf subject to d_i >= 0.5 — optimum 0.5."""
+        model = LPModel()
+        delta = model.add_variables(4, "d")
+        add_norm_objective(model, delta, "linf")
+        model.add_leq_block(-np.eye(4), -np.full(4, 0.5), delta)
+        return model, delta
+
+    def test_simplex_dual_warm_start_matches_cold_objective(self):
+        model, delta = self.fence_model()
+        session = model.incremental_session(backend="simplex", sparse=False)
+        first = session.solve()
+        assert first.warm_start is not None and first.warm_start.payload is not None
+        model.add_leq_block(np.array([[-1.0, -1.0, 0.0, 0.0]]), [-1.4], delta)
+        session.append_rows()
+        warm = session.solve(warm_start=first.warm_start)
+        assert warm.warm_start_used
+        cold = model.solve("simplex")
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+        # The hot start skips phase 1 entirely: far fewer pivots than cold.
+        assert warm.iterations < cold.iterations
+
+    def test_simplex_warm_start_detects_appended_infeasibility(self):
+        model, delta = self.fence_model()
+        session = model.incremental_session(backend="simplex", sparse=False)
+        first = session.solve()
+        model.add_leq_block(np.eye(4)[:1], [0.1], delta)  # d0 <= 0.1 contradicts
+        session.append_rows()
+        warm = session.solve(warm_start=first.warm_start)
+        assert warm.status is LPStatus.INFEASIBLE
+        assert warm.warm_start_used
+
+    def test_simplex_incompatible_payload_falls_back_cold(self):
+        model, _ = self.fence_model()
+        session = model.incremental_session(backend="simplex", sparse=False)
+        stale = WarmStart(
+            backend="simplex", values=np.zeros(4), payload={"n": 99, "num_eq": 0}
+        )
+        solution = session.solve(warm_start=stale)
+        assert solution.status is LPStatus.OPTIMAL
+        assert not solution.warm_start_used
+
+    def test_scipy_highs_ignores_warm_start_exactly(self):
+        model, delta = self.fence_model()
+        session = model.incremental_session(backend="scipy")
+        first = session.solve()
+        model.add_leq_block(np.array([[-1.0, -1.0, 0.0, 0.0]]), [-1.4], delta)
+        session.append_rows()
+        warm = session.solve(warm_start=first.warm_start)
+        cold = model.solve("scipy")
+        assert not warm.warm_start_used
+        assert warm.values.tobytes() == cold.values.tobytes()
+        assert warm.iterations is not None
+
+    def test_warm_start_exactness_flags(self):
+        assert get_backend("scipy").warm_start_is_exact
+        assert not get_backend("simplex").warm_start_is_exact
+
+    def test_scipy_x0_method_falls_back_cold_when_guess_rejected(self):
+        """A warm handle must never produce a spurious failure (base contract).
+
+        ``revised simplex`` is the one linprog method that consumes ``x0``;
+        once appended rows cut off the previous optimum, linprog rejects the
+        guess (status 4) — the backend must silently retry cold instead of
+        surfacing LPStatus.ERROR.
+        """
+        import warnings
+
+        from repro.lp.backends.scipy_backend import ScipyBackend
+
+        backend = ScipyBackend("revised simplex")
+        assert not backend.warm_start_is_exact
+        model, delta = self.fence_model()
+        with warnings.catch_warnings():
+            # scipy deprecates the method; the fallback contract is what we
+            # pin here, not the method's lifecycle.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            first = backend.solve(*model.standard_form(sparse=False))
+            assert first.status is LPStatus.OPTIMAL
+            # The cut makes the prior optimum (0.5, 0.5, ...) infeasible,
+            # so the guess cannot seed a basic feasible solution.
+            model.add_leq_block(np.array([[-1.0, -1.0, 0.0, 0.0]]), [-1.4], delta)
+            warm = backend.solve(
+                *model.standard_form(sparse=False), warm_start=first.warm_start
+            )
+            cold = backend.solve(*model.standard_form(sparse=False))
+        assert warm.status is LPStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+
+class TestEvaluateRegionsJob:
+    def test_chunk_spans_cover_and_validate(self):
+        assert chunk_spans(5, 2) == [(0, 2), (2, 4), (4, 5)]
+        assert chunk_spans(0, 4) == []
+        with pytest.raises(EngineError):
+            chunk_spans(3, 0)
+
+    def test_evaluate_regions_matches_inprocess_ddnn(self, rng):
+        network = make_random_relu_network(rng, (2, 8, 6, 3))
+        ddnn = DecoupledNetwork.from_network(network)
+        vertices = rng.uniform(-1, 1, size=(37, 2))
+        activations = rng.uniform(-1, 1, size=(37, 2))
+        expected = ddnn.compute(vertices, activations)
+        engine = ShardedSyrennEngine(workers=1, cache=False)
+        outputs = engine.evaluate_regions(ddnn, vertices, activations, chunk_rows=8)
+        np.testing.assert_array_equal(outputs, expected)
+        # Chunking is deterministic: 37 rows in 8-row chunks is 5 tasks.
+        assert engine.scheduler.jobs_executed == 5
+        with pytest.raises(EngineError):
+            engine.evaluate_regions(ddnn, vertices, activations[:5])
