@@ -29,6 +29,7 @@ from repro.nn.network import Network
 from repro.polytope.segment import LineSegment
 from repro.syrenn.line import transform_line
 from repro.syrenn.plane import transform_plane
+from repro.syrenn.regions import LinearRegion
 from repro.utils.timing import Stopwatch
 
 
@@ -91,6 +92,44 @@ def polytope_repair(
     )
 
 
+def region_key_points(
+    vertices: np.ndarray,
+    interior: np.ndarray,
+    constraint: OutputConstraint,
+) -> tuple[list[np.ndarray], list[np.ndarray], list[OutputConstraint]]:
+    """Key-point triples of **one** linear region.
+
+    Every vertex of the region becomes a key point interpreted under the
+    region's activation pattern (pinned by ``interior``) and subject to
+    ``constraint``.  This is the per-region unit of Algorithm 2's reduction:
+    :func:`reduce_to_key_points` applies it to every linear region of a whole
+    specification, and the counterexample pool applies it to exactly the
+    violating regions the verifier pooled — producing byte-identical rows in
+    both directions, which is what the driver-vs-one-shot differential tests
+    pin.
+    """
+    vertices = np.atleast_2d(np.asarray(vertices, dtype=np.float64))
+    key_points = [vertices[index] for index in range(vertices.shape[0])]
+    return key_points, [interior] * len(key_points), [constraint] * len(key_points)
+
+
+def decompose_spec_entry(
+    network: Network, region: LineSegment | np.ndarray
+) -> list[LinearRegion]:
+    """The linear regions of one specification polytope (line or plane)."""
+    if isinstance(region, LineSegment):
+        partition = transform_line(network, region)
+        return [
+            LinearRegion(vertices=piece.vertices, interior=piece.interior_point)
+            for piece in partition.regions
+        ]
+    partition = transform_plane(network, region)
+    return [
+        LinearRegion(vertices=piece.input_vertices, interior=piece.interior_point)
+        for piece in partition.regions
+    ]
+
+
 def reduce_to_key_points(
     network: Network, spec: PolytopeRepairSpec
 ) -> tuple[list[np.ndarray], list[np.ndarray], list[OutputConstraint]]:
@@ -104,22 +143,13 @@ def reduce_to_key_points(
     activation_points: list[np.ndarray] = []
     constraints: list[OutputConstraint] = []
     for entry in spec.entries:
-        if isinstance(entry.region, LineSegment):
-            partition = transform_line(network, entry.region)
-            for region in partition.regions:
-                interior = region.interior_point
-                for vertex in region.vertices:
-                    key_points.append(np.asarray(vertex, dtype=np.float64))
-                    activation_points.append(interior)
-                    constraints.append(entry.constraint)
-        else:
-            partition = transform_plane(network, entry.region)
-            for region in partition.regions:
-                interior = region.interior_point
-                for vertex in region.input_vertices:
-                    key_points.append(np.asarray(vertex, dtype=np.float64))
-                    activation_points.append(interior)
-                    constraints.append(entry.constraint)
+        for region in decompose_spec_entry(network, entry.region):
+            points, activations, region_constraints = region_key_points(
+                region.vertices, region.interior, entry.constraint
+            )
+            key_points.extend(points)
+            activation_points.extend(activations)
+            constraints.extend(region_constraints)
     if not key_points:
         raise SpecificationError("the polytope specification produced no key points")
     return key_points, activation_points, constraints

@@ -25,6 +25,22 @@ from repro.polytope.segment import LineSegment
 OutputConstraint = HPolytope
 
 
+def dedupe_exact_vertices(vertices: np.ndarray) -> np.ndarray:
+    """Drop exact-duplicate rows of a vertex array, preserving first-seen order.
+
+    Repeated vertices in a polygon specification are geometrically inert but
+    not free: every duplicate becomes a duplicate (key point, activation
+    point, constraint) row in Algorithm 2's reduction, bloating the repair
+    LP.  Only *exact* duplicates are dropped — nearby-but-distinct vertices
+    are kept, since collapsing those would change the polygon.
+    """
+    vertices = np.atleast_2d(np.asarray(vertices, dtype=np.float64))
+    _, first_seen = np.unique(vertices, axis=0, return_index=True)
+    if first_seen.size == vertices.shape[0]:
+        return vertices
+    return vertices[np.sort(first_seen)]
+
+
 def classification_constraint(num_classes: int, label: int, margin: float = 0.0) -> HPolytope:
     """The constraint "output ``label`` is the (strict) argmax".
 
@@ -157,9 +173,12 @@ class PolytopeRepairSpec:
         """Require every point of the convex planar polygon to map into ``constraint``.
 
         ``vertices`` is a ``(k ≥ 3, n)`` array of input-space points lying in
-        a 2-D affine subspace; they are stored in convex position.
+        a 2-D affine subspace; they are stored in convex position.  Exact
+        duplicate vertices are dropped here, at construction — repeated
+        vertices would otherwise turn into duplicate key-point rows in every
+        LP built from this specification.
         """
-        vertices = np.atleast_2d(np.asarray(vertices, dtype=np.float64))
+        vertices = dedupe_exact_vertices(vertices)
         if vertices.shape[0] < 3:
             raise SpecificationError("a planar polytope needs at least three vertices")
         self.entries.append(_PolytopeEntry(vertices, constraint))

@@ -15,7 +15,19 @@ linear region they violate; the pool pins each one to that activation
 pattern, which makes "repair the pooled vertices" equivalent to "repair the
 violated linear regions" (Appendix B of the paper).  With the exact verifier
 the loop therefore terminates in a round whose verification report certifies
-every region — the driver's closed-loop analogue of Algorithm 2.
+every region.
+
+``mode="polytope"`` makes that equivalence literal — the driver's
+closed-loop analogue of Algorithm 2.  The exact verifier reports each
+violating linear region *whole* (a
+:class:`~repro.verify.base.RegionCounterexample`: vertex set + interior
+point), the pool dedups regions by activation-pattern-aware keys, and every
+pooled region expands to one repair point per vertex under the region's
+pinned activation pattern.  A certified final round then proves the repaired
+network correct on the infinitely many points of every specification
+polytope, with all the loop's machinery — engine-sharded decomposition,
+partition caching, incremental LP sessions, value-only re-verification,
+checkpoint/resume — applying unchanged.
 
 Rounds are bounded by ``max_rounds`` and a wall-clock
 :class:`~repro.utils.timing.TimeBudget`; infeasible (or stalled) rounds
@@ -30,7 +42,12 @@ scheduled layer (append-only rows, warm-started solves), and — because
 value-channel repair never moves linear-region boundaries — enables the
 exact verifier's value-only fast path, which re-evaluates cached vertex
 sets instead of re-decomposing.  With the default scipy/HiGHS backend an
-incremental run is byte-identical to a cold one.
+incremental run is byte-identical to a cold one on the differential-test
+workloads (narrow ACAS-style value channels); on very wide value channels
+BLAS may round the suffix-append and full-pool Jacobian batches differently
+in the last bit, leaving the two runs equal to ~1e-15 per LP coefficient
+rather than per byte (``bench_polytope_driver`` records which regime a
+workload lands in).
 """
 
 from __future__ import annotations
@@ -41,6 +58,7 @@ from pathlib import Path
 from repro.core.ddnn import DecoupledNetwork
 from repro.core.point_repair import IncrementalPointRepairSession, point_repair
 from repro.core.result import RepairTiming
+from repro.core.specs import PolytopeRepairSpec
 from repro.driver.pool import CounterexamplePool
 from repro.exceptions import RepairError
 from repro.experiments.metrics import drawdown as drawdown_metric
@@ -103,6 +121,9 @@ class RoundRecord:
     regions_unknown: int
     new_counterexamples: int
     pool_size: int
+    #: Repair points the pool expands to (== pool_size in point mode; in
+    #: polytope mode every pooled region contributes all of its vertices).
+    pool_key_points: int = 0
     repair_attempted: bool = False
     repair_feasible: bool | None = None
     layer_index: int | None = None
@@ -143,6 +164,7 @@ class DriverReport:
     timing: DriverTiming = field(default_factory=DriverTiming)
     engine_stats: dict | None = None
     incremental: bool = False
+    mode: str = "point"
 
     @property
     def num_rounds(self) -> int:
@@ -181,6 +203,7 @@ class DriverReport:
             "status": self.status,
             "certified": self.certified,
             "incremental": self.incremental,
+            "mode": self.mode,
             "num_rounds": self.num_rounds,
             "pool_size": self.pool_size,
             "counterexamples_found": self.counterexamples_found,
@@ -207,7 +230,19 @@ class RepairDriver:
     network:
         The buggy network (or DDNN) to repair.
     spec:
-        The verification targets: regions plus output constraints.
+        The verification targets: regions plus output constraints.  In
+        polytope mode a :class:`~repro.core.specs.PolytopeRepairSpec` is
+        accepted directly and adopted as verification targets via
+        :meth:`VerificationSpec.from_polytope_spec`.
+    mode:
+        ``"point"`` (default) pools individual violating vertices —
+        closed-loop Algorithm 1.  ``"polytope"`` is closed-loop Algorithm 2:
+        the exact verifier reports whole violating *linear regions*
+        (:class:`~repro.verify.base.RegionCounterexample`), the pool dedups
+        them by activation-pattern-aware keys, and each pooled region
+        expands to one repair point per region vertex (pinned to the
+        region's interior), so a certified final round proves the repaired
+        network correct on every point of every specification polytope.
     verifier:
         The violation-search implementation.  With
         :class:`~repro.verify.exact.SyrennVerifier` the driver terminates
@@ -268,9 +303,10 @@ class RepairDriver:
     def __init__(
         self,
         network: Network | DecoupledNetwork,
-        spec: VerificationSpec,
+        spec: VerificationSpec | PolytopeRepairSpec,
         verifier: Verifier,
         *,
+        mode: str = "point",
         layer_schedule: list[int] | None = None,
         repair_margin: float = DEFAULT_REPAIR_MARGIN,
         max_rounds: int = 10,
@@ -294,6 +330,13 @@ class RepairDriver:
             raise RepairError("incremental mode requires the batched repair engine")
         if max_new_counterexamples is not None and max_new_counterexamples < 1:
             raise RepairError("max_new_counterexamples must be positive (or None)")
+        if mode not in ("point", "polytope"):
+            raise RepairError(f'mode must be "point" or "polytope", got {mode!r}')
+        if isinstance(spec, PolytopeRepairSpec):
+            if mode != "polytope":
+                raise RepairError('a PolytopeRepairSpec requires mode="polytope"')
+            spec = VerificationSpec.from_polytope_spec(spec)
+        self.mode = mode
         self.base = (
             network.copy()
             if isinstance(network, DecoupledNetwork)
@@ -330,6 +373,10 @@ class RepairDriver:
         self.batched = batched
         self.sparse = sparse
         self._session: IncrementalPointRepairSession | None = None
+        # Pool *entries* already encoded into the standing session: in
+        # polytope mode one entry expands to several LP points, so the
+        # session's own point count cannot identify the new suffix.
+        self._session_entries = 0
 
     # ------------------------------------------------------------------
     def run(self) -> DriverReport:
@@ -344,6 +391,11 @@ class RepairDriver:
         An ``incremental`` driver likewise enables the verifier's
         ``value_only`` fast path (when the verifier exposes that flag and
         does not already have it on) for the duration of the run only.
+
+        A ``mode="polytope"`` driver additionally enables the verifier's
+        ``region_counterexamples`` granularity (again: only when the
+        verifier exposes that flag and had it off), so violations arrive as
+        whole linear regions ready for key-point expansion.
         """
         attach = (
             self.engine is not None
@@ -352,10 +404,16 @@ class RepairDriver:
         attach_value_only = (
             self.incremental and getattr(self.verifier, "value_only", None) is False
         )
+        attach_regions = (
+            self.mode == "polytope"
+            and getattr(self.verifier, "region_counterexamples", None) is False
+        )
         if attach:
             self.verifier.engine = self.engine
         if attach_value_only:
             self.verifier.value_only = True
+        if attach_regions:
+            self.verifier.region_counterexamples = True
         try:
             return self._run()
         finally:
@@ -363,6 +421,8 @@ class RepairDriver:
                 self.verifier.engine = None
             if attach_value_only:
                 self.verifier.value_only = False
+            if attach_regions:
+                self.verifier.region_counterexamples = False
 
     def _run(self) -> DriverReport:
         budget = TimeBudget(self.budget_seconds)
@@ -395,6 +455,7 @@ class RepairDriver:
                 regions_unknown=report.num_unknown,
                 new_counterexamples=0,
                 pool_size=len(self.pool),
+                pool_key_points=self.pool.num_key_points,
                 seconds=report.seconds,
                 verify_value_only=getattr(report, "value_only", False),
             )
@@ -408,6 +469,7 @@ class RepairDriver:
             counterexamples_found += new
             record.new_counterexamples = new
             record.pool_size = len(self.pool)
+            record.pool_key_points = self.pool.num_key_points
             if self.checkpoint_path is not None:
                 self.pool.save(self.checkpoint_path)
 
@@ -484,6 +546,7 @@ class RepairDriver:
             timing=timing,
             engine_stats=self._engine_stats(),
             incremental=self.incremental,
+            mode=self.mode,
         )
 
     def _pool_intake(self, counterexamples: list) -> int:
@@ -510,8 +573,10 @@ class RepairDriver:
         escalation starts a fresh session (a different layer means entirely
         different Jacobians), which then absorbs the whole pool at once.
         Only counterexamples pooled since the session last encoded are
-        appended — the pool is insertion-ordered and append-only, so the
-        session's point count identifies the new suffix exactly.
+        appended — the pool is insertion-ordered and append-only, so a count
+        of encoded pool *entries* identifies the new suffix exactly (the
+        session's own point count cannot: in polytope mode one pooled region
+        expands to several LP points).
         """
         if self._session is None or self._session.layer_index != layer_index:
             self._session = IncrementalPointRepairSession(
@@ -523,11 +588,15 @@ class RepairDriver:
                 sparse=self.sparse,
                 warm_start=self.warm_start,
             )
+            self._session_entries = 0
         session = self._session
-        if len(self.pool) > session.num_points:
+        if len(self.pool) > self._session_entries:
             appended = session.append_points(
-                self.pool.point_spec(margin=self.repair_margin, start=session.num_points)
+                self.pool.point_spec(
+                    margin=self.repair_margin, start=self._session_entries
+                )
             )
+            self._session_entries = len(self.pool)
             record.lp_rows_appended += appended
         result = session.solve()
         solution = session.last_solution

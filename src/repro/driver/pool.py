@@ -8,6 +8,21 @@ digest of its constraint, so re-adding an old counterexample is a no-op and
 the driver can tell "the verifier found something new" from "the verifier is
 stuck".
 
+Region counterexamples (:class:`~repro.verify.base.RegionCounterexample`,
+produced by the exact verifier in the driver's polytope mode) are keyed by
+their *activation pattern* instead: the region's interior point plus its
+vertex set and constraint — never the worst-violating vertex or its margin,
+both of which move between rounds as the value channel is repaired while the
+region itself stays put.  A re-found violating region is therefore always a
+duplicate, which is what keeps the driver's stall detection sound.
+
+Key material is normalized before hashing — coerced to contiguous
+``float64`` and rounded with ``-0.0`` collapsed onto ``0.0`` — because the
+raw bytes of ``-0.0`` differ from ``0.0`` and ``float32`` bytes never match
+``float64`` bytes: without normalization, equal counterexamples from (say) a
+``float32`` dataset sweep would evade dedup forever and fool the driver into
+thinking the verifier keeps finding something new.
+
 The pool also persists itself through :mod:`repro.utils.serialization` so an
 interrupted driver run (CI timeout, budget exhaustion) resumes with every
 counterexample it had already paid verification time for.
@@ -20,10 +35,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.polytope_repair import region_key_points
 from repro.core.specs import PointRepairSpec
 from repro.polytope.hpolytope import HPolytope
 from repro.utils.serialization import load_arrays, save_arrays
-from repro.verify.base import Counterexample
+from repro.verify.base import Counterexample, RegionCounterexample
 
 
 class CounterexamplePool:
@@ -50,12 +66,32 @@ class CounterexamplePool:
         """Add many counterexamples; returns how many were new."""
         return sum(self.add(counterexample) for counterexample in counterexamples)
 
+    def _normalized(self, array: np.ndarray) -> np.ndarray:
+        """Key material for one array: contiguous float64, rounded, no ``-0.0``.
+
+        Rounding can itself produce ``-0.0`` (``np.round(-1e-12, 9)`` does),
+        so the ``+ 0.0`` — which maps ``-0.0`` to ``+0.0`` under IEEE-754 —
+        is applied *after* rounding, covering both a literal ``-0.0`` input
+        and one minted by the rounding step.
+        """
+        rounded = np.round(np.asarray(array, dtype=np.float64), self.decimals)
+        return np.ascontiguousarray(rounded + 0.0)
+
     def _key(self, counterexample: Counterexample) -> bytes:
         digest = hashlib.sha256()
-        digest.update(np.round(counterexample.point, self.decimals).tobytes())
-        digest.update(
-            np.round(counterexample.resolved_activation_point(), self.decimals).tobytes()
-        )
+        if isinstance(counterexample, RegionCounterexample):
+            # Activation-pattern-aware key: the interior point identifies the
+            # linear region (its activation pattern), and the vertex set +
+            # constraint pin the geometry and obligation.  The worst vertex
+            # and margin are deliberately excluded — they change across
+            # repair rounds while the region does not.
+            digest.update(b"region:")
+            digest.update(self._normalized(counterexample.resolved_activation_point()).tobytes())
+            digest.update(self._normalized(counterexample.vertices).tobytes())
+        else:
+            digest.update(b"point:")
+            digest.update(self._normalized(counterexample.point).tobytes())
+            digest.update(self._normalized(counterexample.resolved_activation_point()).tobytes())
         digest.update(np.ascontiguousarray(counterexample.constraint.a).tobytes())
         digest.update(np.ascontiguousarray(counterexample.constraint.b).tobytes())
         return digest.digest()
@@ -72,6 +108,14 @@ class CounterexamplePool:
         return list(self._counterexamples)
 
     @property
+    def num_key_points(self) -> int:
+        """Total repair points the pool expands to (regions count all vertices)."""
+        return sum(
+            counterexample.key_points().shape[0]
+            for counterexample in self._counterexamples
+        )
+
+    @property
     def worst_margin(self) -> float:
         """The largest violation margin in the pool (-inf when empty)."""
         return max(
@@ -83,15 +127,23 @@ class CounterexamplePool:
     # Repair interface
     # ------------------------------------------------------------------
     def point_spec(self, margin: float = 0.0, start: int = 0) -> PointRepairSpec:
-        """The pool (from index ``start``) as a pointwise repair specification.
+        """The pool (from entry index ``start``) as a pointwise repair spec.
+
+        Point counterexamples contribute one repair point each; region
+        counterexamples expand through
+        :func:`~repro.core.polytope_repair.region_key_points` into one repair
+        point per region vertex, every one pinned to the region's interior
+        point — exactly the rows Algorithm 2's ``reduce_to_key_points`` would
+        emit for those regions, in the same order.
 
         ``margin`` tightens every constraint (``b → b - margin``) so the
         repaired outputs land strictly inside their polytopes and survive
         re-verification under a stricter-than-LP-solver tolerance.
-        ``start`` slices off an already-encoded prefix: the incremental
-        repair driver appends each round only the counterexamples pooled
-        since the previous round (the pool is insertion-ordered and entries
-        are never removed, so a prefix count identifies them exactly).
+        ``start`` slices off an already-encoded prefix of pool *entries*: the
+        incremental repair driver appends each round only the counterexamples
+        pooled since the previous round (the pool is insertion-ordered and
+        entries are never removed, so a prefix count identifies them
+        exactly).
         """
         if not 0 <= start <= len(self._counterexamples):
             raise ValueError(
@@ -100,41 +152,60 @@ class CounterexamplePool:
         selected = self._counterexamples[start:]
         if not selected:
             raise ValueError("cannot build a repair spec from an empty pool slice")
-        points = np.array([c.point for c in selected])
-        activation_points = np.array(
-            [c.resolved_activation_point() for c in selected]
-        )
-        constraints = [
-            HPolytope(c.constraint.a, c.constraint.b - margin) for c in selected
-        ]
+        points: list[np.ndarray] = []
+        activation_points: list[np.ndarray] = []
+        constraints: list[HPolytope] = []
+        for counterexample in selected:
+            tightened = HPolytope(
+                counterexample.constraint.a, counterexample.constraint.b - margin
+            )
+            entry_points, entry_activations, entry_constraints = region_key_points(
+                counterexample.key_points(),
+                counterexample.resolved_activation_point(),
+                tightened,
+            )
+            points.extend(entry_points)
+            activation_points.extend(entry_activations)
+            constraints.extend(entry_constraints)
         return PointRepairSpec(
-            points=points, constraints=constraints, activation_points=activation_points
+            points=np.array(points),
+            constraints=constraints,
+            activation_points=np.array(activation_points),
         )
 
     def unsatisfied(self, network, tolerance: float = 1e-6) -> list[int]:
         """Indices of pooled counterexamples ``network`` still violates.
 
-        This is the driver's differential check: after a feasible repair,
-        every pooled counterexample must be satisfied (the LP guarantees it),
-        so a non-empty result flags a numerical or encoding bug.
+        A region counterexample counts as unsatisfied if *any* of its key
+        points violates its constraint.  This is the driver's differential
+        check: after a feasible repair, every pooled counterexample must be
+        satisfied (the LP guarantees it), so a non-empty result flags a
+        numerical or encoding bug.
         """
         indices = []
         for index, counterexample in enumerate(self._counterexamples):
-            try:
-                output = network.compute(
-                    counterexample.point, counterexample.resolved_activation_point()
-                )
-            except TypeError:  # a plain Network: no activation channel
-                output = network.compute(counterexample.point)
-            if counterexample.constraint.violation(np.asarray(output)) > tolerance:
-                indices.append(index)
+            activation = counterexample.resolved_activation_point()
+            for point in counterexample.key_points():
+                try:
+                    output = network.compute(point, activation)
+                except TypeError:  # a plain Network: no activation channel
+                    output = network.compute(point)
+                if counterexample.constraint.violation(np.asarray(output)) > tolerance:
+                    indices.append(index)
+                    break
         return indices
 
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Checkpoint the pool to an ``.npz`` file."""
+        """Checkpoint the pool to an ``.npz`` file.
+
+        Region counterexamples additionally carry their vertex array; the
+        presence of ``vertices_i`` in the archive is what marks entry ``i``
+        as a region on load, so checkpoints written before region support
+        load unchanged.
+        """
         arrays: dict[str, np.ndarray] = {
             "decimals": np.array([self.decimals]),
             "count": np.array([len(self._counterexamples)]),
@@ -147,6 +218,8 @@ class CounterexamplePool:
             arrays[f"meta_{index}"] = np.array(
                 [counterexample.margin, float(counterexample.region_index)]
             )
+            if isinstance(counterexample, RegionCounterexample):
+                arrays[f"vertices_{index}"] = counterexample.vertices
         save_arrays(Path(path), arrays)
 
     @classmethod
@@ -156,15 +229,28 @@ class CounterexamplePool:
         pool = cls(decimals=int(arrays["decimals"][0]))
         for index in range(int(arrays["count"][0])):
             margin, region_index = arrays[f"meta_{index}"]
-            pool.add(
-                Counterexample(
-                    point=arrays[f"point_{index}"],
-                    constraint=HPolytope(
-                        arrays[f"constraint_a_{index}"], arrays[f"constraint_b_{index}"]
-                    ),
-                    margin=float(margin),
-                    region_index=int(region_index),
-                    activation_point=arrays[f"activation_{index}"],
-                )
+            constraint = HPolytope(
+                arrays[f"constraint_a_{index}"], arrays[f"constraint_b_{index}"]
             )
+            if f"vertices_{index}" in arrays:
+                pool.add(
+                    RegionCounterexample(
+                        point=arrays[f"point_{index}"],
+                        constraint=constraint,
+                        margin=float(margin),
+                        region_index=int(region_index),
+                        activation_point=arrays[f"activation_{index}"],
+                        vertices=arrays[f"vertices_{index}"],
+                    )
+                )
+            else:
+                pool.add(
+                    Counterexample(
+                        point=arrays[f"point_{index}"],
+                        constraint=constraint,
+                        margin=float(margin),
+                        region_index=int(region_index),
+                        activation_point=arrays[f"activation_{index}"],
+                    )
+                )
         return pool

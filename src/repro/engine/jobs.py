@@ -27,6 +27,8 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.exceptions import EngineError, JobCancelledError
 from repro.utils.timing import TimeBudget
 
@@ -55,6 +57,25 @@ def chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
     if chunk_size < 1:
         raise EngineError("chunk_size must be positive")
     return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
+
+
+def contiguous_spans(ids) -> list[tuple[int, int]]:
+    """``(start, stop)`` spans of equal consecutive values in ``ids``.
+
+    The complement of :func:`chunk_spans`: instead of imposing a fixed chunk
+    layout, it recovers the natural grouping already present in a stacked
+    result (e.g. which rows of a cached vertex stack belong to the same
+    linear region).  Like ``chunk_spans`` the output depends only on the
+    input sequence, so span-wise consumers stay deterministic at any worker
+    count.
+    """
+    ids = np.asarray(ids)
+    if ids.size == 0:
+        return []
+    boundaries = np.flatnonzero(ids[1:] != ids[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [ids.size]])
+    return list(zip(starts.tolist(), stops.tolist()))
 
 
 @dataclass

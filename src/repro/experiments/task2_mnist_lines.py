@@ -65,13 +65,19 @@ def setup_task2(
     test_per_class: int = 40,
     epochs: int = 30,
     fog_severity: float = 1.0,
+    hidden_sizes: tuple[int, int] = (64, 32),
     seed: int = 0,
 ) -> Task2Setup:
-    """Generate data, train (or load) the digit network, and build fog lines."""
+    """Generate data, train (or load) the digit network, and build fog lines.
+
+    ``hidden_sizes`` selects the classifier width; the zoo caches one
+    trained network per configuration, so sweeps over widths (or smaller
+    smoke-test networks) do not retrain the default.
+    """
     zoo = zoo if zoo is not None else ModelZoo()
     rng = ensure_rng(seed)
     dataset = zoo.digit_dataset(train_per_class, test_per_class, seed=seed)
-    network = zoo.digit_network(dataset, epochs=epochs, seed=seed)
+    network = zoo.digit_network(dataset, hidden_sizes=hidden_sizes, epochs=epochs, seed=seed)
 
     # Fog-corrupted copy of the whole test set (the generalization set).
     fog_images = corrupt_batch(
@@ -113,6 +119,26 @@ def line_specification(setup: Task2Setup, num_lines: int, margin: float = CLASSI
         )
         spec.add_segment(setup.lines[index], constraint)
     return spec
+
+
+#: Margin of the strengthened fog-line specification (see below).
+STRENGTHENED_MARGIN = 5e-2
+
+
+def strengthened_line_specification(
+    setup: Task2Setup, num_lines: int, margin: float = STRENGTHENED_MARGIN
+) -> PolytopeRepairSpec:
+    """The fog-line specification with a decisively strengthened margin.
+
+    Same lines and labels as :func:`line_specification`, but the winning
+    logit must beat every other logit by ``margin`` (default 0.05 instead of
+    0.001) at *every* point of every line.  The stronger obligation violates
+    many more linear regions — including regions whose classification was
+    already correct but marginal — which is the regime the polytope-CEGIS
+    driver exists for: many rounds of region discovery, incremental LP
+    growth, and cached re-verification.
+    """
+    return line_specification(setup, num_lines, margin=margin)
 
 
 def provable_line_repair(

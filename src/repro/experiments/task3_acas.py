@@ -22,7 +22,7 @@ from repro.baselines.fine_tune import fine_tune
 from repro.baselines.modified_fine_tune import modified_fine_tune
 from repro.core.point_repair import point_repair
 from repro.core.result import RepairTiming
-from repro.core.specs import PointRepairSpec
+from repro.core.specs import PointRepairSpec, PolytopeRepairSpec
 from repro.datasets.acas import SafetyProperty, phi8_property
 from repro.driver import DriverReport, RepairDriver
 from repro.polytope.hpolytope import HPolytope
@@ -249,6 +249,34 @@ def strengthened_verification_spec(
                 constraint,
                 name=f"slice{slice_index}/region{region_index}",
             )
+    return spec
+
+
+def strengthened_polytope_spec(
+    network: Network,
+    setup: Task3Setup,
+    *,
+    margin: float = CLASSIFICATION_MARGIN,
+    engine=None,
+) -> PolytopeRepairSpec:
+    """The strengthened φ8 slices as a *polytope repair* specification.
+
+    The same per-linear-region strengthening as
+    :func:`strengthened_verification_spec`, packaged as a
+    :class:`~repro.core.specs.PolytopeRepairSpec` so it can drive both
+    one-shot :func:`~repro.core.polytope_repair.polytope_repair` and the
+    polytope-mode CEGIS driver on identical obligations (the
+    ``bench_polytope_driver`` comparison).  Each strengthened region is a
+    planar polygon; decomposing it again inside Algorithm 2 is exact and,
+    with a shared ``engine``, hits the same partition-cache entries the
+    verification rounds use.
+    """
+    verification = strengthened_verification_spec(
+        network, setup, margin=margin, engine=engine
+    )
+    spec = PolytopeRepairSpec()
+    for region in verification.regions:
+        spec.add_plane(region.region, region.constraint)
     return spec
 
 

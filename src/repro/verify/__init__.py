@@ -2,8 +2,10 @@
 
 * :mod:`repro.verify.base` — the :class:`Verifier` interface,
   :class:`VerificationSpec` (regions + output constraints),
-  :class:`Counterexample`, and :class:`VerificationReport` with
-  certified/violated/unknown region accounting.
+  :class:`Counterexample` / :class:`RegionCounterexample` (a whole violating
+  linear region, used by the polytope-mode driver), and
+  :class:`VerificationReport` with certified/violated/unknown region
+  accounting.
 * :mod:`repro.verify.sampling` — :class:`GridVerifier` (dense deterministic
   sweep) and :class:`RandomVerifier` (seeded Monte-Carlo); they find
   violations but never certify.
@@ -15,6 +17,7 @@
 from repro.verify.base import (
     Box,
     Counterexample,
+    RegionCounterexample,
     RegionStatus,
     SpecRegion,
     VerificationReport,
@@ -27,6 +30,7 @@ from repro.verify.sampling import GridVerifier, RandomVerifier
 __all__ = [
     "Box",
     "Counterexample",
+    "RegionCounterexample",
     "RegionStatus",
     "SpecRegion",
     "VerificationReport",

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.ddnn import DecoupledNetwork
-from repro.core.specs import PolytopeRepairSpec
+from repro.core.specs import PolytopeRepairSpec, dedupe_exact_vertices
 from repro.exceptions import SpecificationError
 from repro.nn.network import Network
 from repro.polytope.hpolytope import HPolytope
@@ -101,8 +101,14 @@ class VerificationSpec:
         self.regions.append(SpecRegion(segment, constraint, name))
 
     def add_plane(self, vertices, constraint: HPolytope, name: str = "") -> None:
-        """Require every point of the convex planar polygon to map into ``constraint``."""
-        vertices = np.atleast_2d(np.asarray(vertices, dtype=np.float64))
+        """Require every point of the convex planar polygon to map into ``constraint``.
+
+        Exact duplicate vertices are dropped, mirroring
+        :meth:`repro.core.specs.PolytopeRepairSpec.add_plane`, so a
+        verification spec and the repair spec it was built from decompose
+        the same geometry (and share partition-cache entries).
+        """
+        vertices = dedupe_exact_vertices(vertices)
         if vertices.shape[0] < 3:
             raise SpecificationError("a planar region needs at least three vertices")
         self.regions.append(SpecRegion(vertices, constraint, name))
@@ -152,9 +158,65 @@ class Counterexample:
     region_index: int
     activation_point: np.ndarray | None = None
 
+    def __post_init__(self) -> None:
+        # Coerce to float64 like VerificationSpec does for its bounds: a
+        # sampling verifier sweeping a float32 dataset must not leak float32
+        # into LP assembly or into the counterexample pool's dedup keys
+        # (float32 and float64 bytes of the same value never collide).
+        self.point = np.ascontiguousarray(np.asarray(self.point, dtype=np.float64))
+        if self.activation_point is not None:
+            self.activation_point = np.ascontiguousarray(
+                np.asarray(self.activation_point, dtype=np.float64)
+            )
+        self.margin = float(self.margin)
+
     def resolved_activation_point(self) -> np.ndarray:
         """The activation point, defaulting to the point itself."""
         return self.point if self.activation_point is None else self.activation_point
+
+    def key_points(self) -> np.ndarray:
+        """The repair points this counterexample expands to (``(k, n)``).
+
+        A plain counterexample is its own single key point; a
+        :class:`RegionCounterexample` expands to every vertex of its linear
+        region (Algorithm 2's per-region reduction).
+        """
+        return self.point[None, :]
+
+
+@dataclass
+class RegionCounterexample(Counterexample):
+    """A whole violating *linear region*, as produced in polytope-CEGIS mode.
+
+    Where a plain :class:`Counterexample` names one violating vertex, a
+    region counterexample carries the full vertex set of the linear region
+    it came from, with the region's interior point as the (mandatory)
+    activation point.  Repairing all of its :meth:`key_points` under that
+    pinned activation pattern repairs the *entire* region (Theorem 4.6 +
+    Appendix B) — which is what lets the CEGIS driver certify infinite
+    polytope specifications rather than individual points.
+
+    ``point``/``margin`` describe the worst-violating vertex, so the pool's
+    margin accounting and the driver's reporting work unchanged.
+    """
+
+    vertices: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.vertices is None:
+            raise SpecificationError("a region counterexample needs its region's vertices")
+        if self.activation_point is None:
+            raise SpecificationError(
+                "a region counterexample needs an interior (activation) point"
+            )
+        self.vertices = np.ascontiguousarray(
+            np.atleast_2d(np.asarray(self.vertices, dtype=np.float64))
+        )
+
+    def key_points(self) -> np.ndarray:
+        """Every vertex of the violating linear region."""
+        return self.vertices
 
 
 @dataclass

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ddnn import DecoupledNetwork
+from repro.engine.jobs import contiguous_spans
 from repro.nn.network import Network
 from repro.polytope.segment import LineSegment
 from repro.syrenn.line import transform_line
@@ -42,6 +43,7 @@ from repro.verify.base import (
     DEFAULT_TOLERANCE,
     Box,
     Counterexample,
+    RegionCounterexample,
     RegionStatus,
     VerificationReport,
     VerificationSpec,
@@ -71,6 +73,15 @@ class SyrennVerifier(Verifier):
     when an engine is attached.  This is sound exactly because value-channel
     repairs never move linear-region boundaries (Theorem 4.6); the
     incremental repair driver enables the flag for the duration of its run.
+
+    ``region_counterexamples=True`` switches counterexample granularity from
+    vertices to linear regions: each violating linear region is reported as
+    one :class:`~repro.verify.base.RegionCounterexample` carrying the
+    region's full vertex set and interior point instead of one
+    :class:`Counterexample` per violating vertex.  Verdicts, margins, and
+    ordering are unchanged; the polytope-mode repair driver enables the flag
+    for the duration of its run so pooled counterexamples expand to exactly
+    the key points Algorithm 2 would generate for the violated regions.
     """
 
     name = "syrenn"
@@ -81,11 +92,13 @@ class SyrennVerifier(Verifier):
         cache_partitions: bool = True,
         engine=None,
         value_only: bool = False,
+        region_counterexamples: bool = False,
     ) -> None:
         super().__init__(tolerance)
         self.cache_partitions = cache_partitions
         self.engine = engine
         self.value_only = value_only
+        self.region_counterexamples = region_counterexamples
         self.value_only_verifications = 0
         self._cache: dict[tuple, list[LinearRegion]] = {}
         # Single-slot cache backing the value-only fast path: the previous
@@ -149,8 +162,24 @@ class SyrennVerifier(Verifier):
                 outputs = self._evaluate(network, linear_region.vertices, linear_region.interior)
                 vertex_margins = entry.constraint.violation_batch(outputs)
                 region_margin = max(region_margin, float(np.max(vertex_margins)))
-                for vertex_index in np.where(vertex_margins > self.tolerance)[0]:
-                    region_violated = True
+                violating = np.where(vertex_margins > self.tolerance)[0]
+                if violating.size == 0:
+                    continue
+                region_violated = True
+                if self.region_counterexamples:
+                    worst = int(np.argmax(vertex_margins))
+                    counterexamples.append(
+                        RegionCounterexample(
+                            point=linear_region.vertices[worst].copy(),
+                            constraint=entry.constraint,
+                            margin=float(vertex_margins[worst]),
+                            region_index=region_index,
+                            activation_point=linear_region.interior.copy(),
+                            vertices=linear_region.vertices.copy(),
+                        )
+                    )
+                    continue
+                for vertex_index in violating:
                     counterexamples.append(
                         Counterexample(
                             point=linear_region.vertices[vertex_index].copy(),
@@ -222,17 +251,42 @@ class SyrennVerifier(Verifier):
                 )
 
         counterexamples: list[Counterexample] = []
-        for row in np.where(margins_all > self.tolerance)[0]:
-            region_index = int(cache.row_region[row])
-            counterexamples.append(
-                Counterexample(
-                    point=cache.vertices[row].copy(),
-                    constraint=spec.regions[region_index].constraint,
-                    margin=float(margins_all[row]),
-                    region_index=region_index,
-                    activation_point=cache.interiors[cache.row_interior[row]].copy(),
+        if self.region_counterexamples:
+            # One counterexample per violating *linear region*: rows of a
+            # linear region are contiguous in the cached stack (they were
+            # built region by region), so the per-region grouping is exactly
+            # the contiguous spans of the row → interior mapping — the same
+            # regions, in the same order, as the slow path walks.
+            for span_start, span_stop in contiguous_spans(cache.row_interior):
+                span_margins = margins_all[span_start:span_stop]
+                worst = int(np.argmax(span_margins))
+                if span_margins[worst] <= self.tolerance:
+                    continue
+                region_index = int(cache.row_region[span_start])
+                counterexamples.append(
+                    RegionCounterexample(
+                        point=cache.vertices[span_start + worst].copy(),
+                        constraint=spec.regions[region_index].constraint,
+                        margin=float(span_margins[worst]),
+                        region_index=region_index,
+                        activation_point=cache.interiors[
+                            cache.row_interior[span_start]
+                        ].copy(),
+                        vertices=cache.vertices[span_start:span_stop].copy(),
+                    )
                 )
-            )
+        else:
+            for row in np.where(margins_all > self.tolerance)[0]:
+                region_index = int(cache.row_region[row])
+                counterexamples.append(
+                    Counterexample(
+                        point=cache.vertices[row].copy(),
+                        constraint=spec.regions[region_index].constraint,
+                        margin=float(margins_all[row]),
+                        region_index=region_index,
+                        activation_point=cache.interiors[cache.row_interior[row]].copy(),
+                    )
+                )
         return VerificationReport(
             verifier=self.name,
             region_statuses=statuses,

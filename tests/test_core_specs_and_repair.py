@@ -64,13 +64,28 @@ class TestPolytopeRepairSpec:
     def test_add_segment_and_plane(self):
         spec = PolytopeRepairSpec()
         spec.add_segment(LineSegment([0.0, 0.0], [1.0, 1.0]), classification_constraint(3, 0))
-        spec.add_plane(np.eye(3)[:, :2] @ np.ones((2, 2)), classification_constraint(3, 1))
+        spec.add_plane([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]], classification_constraint(3, 1))
         assert spec.num_polytopes == 2
+
+    def test_add_plane_drops_exact_duplicate_vertices(self):
+        spec = PolytopeRepairSpec()
+        spec.add_plane(
+            [[0.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 0.0]],
+            classification_constraint(3, 1),
+        )
+        np.testing.assert_array_equal(
+            spec.entries[0].region, [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]
+        )
 
     def test_plane_needs_three_vertices(self):
         spec = PolytopeRepairSpec()
         with pytest.raises(SpecificationError):
             spec.add_plane(np.zeros((2, 4)), classification_constraint(3, 0))
+        # Duplicates do not count toward the three-vertex minimum.
+        with pytest.raises(SpecificationError):
+            spec.add_plane(
+                [[0.0, 0.0], [1.0, 1.0], [1.0, 1.0]], classification_constraint(3, 0)
+            )
 
     def test_from_segments_validation(self):
         with pytest.raises(SpecificationError):
