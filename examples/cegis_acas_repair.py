@@ -2,12 +2,15 @@
 """End-to-end certified repair of the ACAS-style network via the CEGIS driver.
 
 Where ``acas_safety_repair.py`` hands the whole strengthened φ8
-specification to a single LP, this example closes the loop: the exact
+specification to a single LP, this example closes the loop through the
+one-import facade: ``repro.api.repair`` runs the CEGIS driver — the exact
 SyReNN-based verifier searches the repair slices for violations, the driver
-pools the counterexamples it finds, repairs just those, and re-verifies —
-iterating until the verifier *certifies* every target region free of
-violations.  The final report also cross-checks that the repaired network
-satisfies every counterexample the pool accumulated along the way.
+pools the counterexamples, repairs just those, and re-verifies — iterating
+until every target region is *certified*.  The algorithm knobs travel as a
+declarative :class:`repro.DriverConfig`, which is exactly what a job
+submitted to the repair daemon (``python -m repro.service``) would carry;
+the example prints the equivalent job document's size to make that
+concrete.
 
 Run with:  python examples/cegis_acas_repair.py
 (The first run trains and caches the advisory network; later runs reuse it.)
@@ -15,14 +18,15 @@ Run with:  python examples/cegis_acas_repair.py
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
+
+import repro
 from repro.experiments.reporting import format_seconds, print_table
-from repro.experiments.task3_acas import (
-    driver_slice_repair,
-    setup_task3,
-    strengthened_verification_spec,
-)
+from repro.experiments.task3_acas import setup_task3, strengthened_verification_spec
 from repro.models.zoo import ModelZoo
-from repro.verify import GridVerifier
+from repro.service.protocol import make_job
 
 
 def main() -> None:
@@ -36,7 +40,28 @@ def main() -> None:
         return
     print(f"Found {len(setup.repair_slices)} property-violating 2-D slices to repair.")
 
-    record, report = driver_slice_repair(setup, norm="l1", max_rounds=8)
+    # The §7.1 schedule: the last layer first, then every other layer as
+    # escalation fallbacks — expressed once, declaratively, in the config.
+    schedule = [setup.last_layer_index] + [
+        index
+        for index in reversed(setup.network.parameterized_layer_indices())
+        if index != setup.last_layer_index
+    ]
+    config = repro.DriverConfig(layer_schedule=schedule, norm="l1", max_rounds=8)
+    spec = strengthened_verification_spec(setup.network, setup)
+    holdout_labels = np.atleast_1d(setup.network.predict(setup.drawdown_points))
+
+    # The exact same work as a daemon job document (network + spec + config
+    # all serialize): repro.api.submit(...) would POST this to a daemon.
+    job = make_job("repair", setup.network, spec, config=config)
+    print(f"Equivalent daemon job document: {len(json.dumps(job)) / 1024:.0f} KiB of JSON.")
+
+    report = repro.api.repair(
+        setup.network,
+        spec,
+        config=config,
+        holdout=(setup.drawdown_points, holdout_labels),
+    )
     print_table(
         "CEGIS rounds (verify → pool counterexamples → batched repair)",
         [
@@ -52,33 +77,20 @@ def main() -> None:
         ],
     )
 
+    timing = report.timing.as_dict()
     print(f"\nStatus: {report.status} after {report.num_rounds} rounds "
-          f"({format_seconds(record['time_total'])} total; "
-          f"verify {format_seconds(record['time_verify'])}, "
-          f"LP {format_seconds(record['time_repair_lp'])}).")
+          f"({format_seconds(timing['total'])} total; "
+          f"verify {format_seconds(timing['verify'])}, "
+          f"LP {format_seconds(timing['repair_lp'])}).")
     if report.certified:
-        print(f"The exact verifier certified all {record['regions']} target regions: "
+        print(f"The exact verifier certified all {spec.num_regions} target regions: "
               "the φ8 strengthening provably holds on every point of every repair slice.")
     print(f"Differential check: {len(report.unsatisfied_pool_indices)} of "
           f"{report.pool_size} pooled counterexamples remain violated (must be 0).")
 
-    grid = GridVerifier(resolution=24).verify(
-        report.network, strengthened_verification_spec(setup.network, setup)
-    )
+    grid = repro.api.verify(report.network, spec, verifier="grid", resolution=24)
     print(f"Independent grid sweep over the regions: {grid.num_violated} violated "
           f"({grid.points_checked} points checked).")
-
-    print_table(
-        "Safety metrics of the certified repair",
-        [
-            {
-                "method": "CEGIS driver",
-                "efficacy %": record["efficacy"],
-                "drawdown %": record["drawdown"],
-                "generalization %": record["generalization"],
-            }
-        ],
-    )
 
 
 if __name__ == "__main__":

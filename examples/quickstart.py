@@ -8,7 +8,10 @@ Builds the 1-input ReLU network N₁, then:
 2. applies Provable Polytope Repair so that every point of the segment
    [0.5, 1.5] maps into [-0.8, -0.4] (Equation 3 / Figure 5(b));
 3. prints the linear regions before and after, showing that value-channel
-   repairs never move them (Theorem 4.6).
+   repairs never move them (Theorem 4.6);
+4. re-runs the Equation 3 repair through the one-import facade
+   (``repro.api.repair``), letting the CEGIS driver discover the violations
+   and *certify* the result with the exact verifier.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro import PointRepairSpec, PolytopeRepairSpec, point_repair, polytope_repair
 from repro.experiments.figures import input_output_curve
 from repro.models.toy import paper_network_n1
@@ -74,6 +78,25 @@ def main() -> None:
     repaired_curve = input_output_curve(repaired)
     print("\nLinear regions after repair:", repaired_curve.region_boundaries.round(3).tolist())
     print("(identical to N1's regions — value-channel repairs never move them)")
+
+    # ------------------------------------------------------------------
+    # 4. The same repair through the facade, closed-loop and certified.
+    # ------------------------------------------------------------------
+    # repro.api.repair runs the CEGIS driver: the exact verifier finds the
+    # violating linear regions of the segment, the driver repairs exactly
+    # those, and the final round *proves* Equation 3 on every point.
+    report = repro.api.repair(
+        network,
+        polytope_spec,
+        config=repro.DriverConfig(mode="polytope", norm="l1", max_rounds=4),
+    )
+    print("\nClosed-loop repair via repro.api.repair (mode='polytope'):")
+    print(f"  status: {report.status} after {report.num_rounds} rounds "
+          f"(pooled {report.pool_size} violating regions)")
+    check = repro.api.verify(
+        report.network, repro.VerificationSpec.from_polytope_spec(polytope_spec)
+    )
+    print(f"  independent re-verification: certified={check.certified}")
 
 
 if __name__ == "__main__":

@@ -34,6 +34,14 @@ The package is organized as:
 ``repro.engine``
     The parallel execution engine: sharded SyReNN decomposition across a
     worker pool, priority job scheduling, and a two-tier partition cache.
+``repro.api``
+    The one-import facade: :func:`repro.api.repair`,
+    :func:`repro.api.verify`, and :func:`repro.api.submit` (jobs to a
+    running repair daemon).
+``repro.service``
+    Repair-as-a-service: a long-lived daemon that accepts declarative
+    repair/verify jobs over a small stdlib HTTP API and multiplexes them
+    over one warm engine and shared partition cache.
 ``repro.datasets``, ``repro.models``
     Synthetic stand-ins for the paper's three evaluation tasks.
 ``repro.baselines``
@@ -74,9 +82,11 @@ from repro.verify import (
     VerificationReport,
     VerificationSpec,
     Verifier,
+    make_verifier,
 )
-from repro.driver import CounterexamplePool, DriverReport, RepairDriver
+from repro.driver import CounterexamplePool, DriverConfig, DriverReport, RepairDriver
 from repro.engine import JobScheduler, PartitionCache, ShardedSyrennEngine
+from repro import api
 
 __version__ = "1.2.0"
 
@@ -110,11 +120,14 @@ __all__ = [
     "GridVerifier",
     "RandomVerifier",
     "SyrennVerifier",
+    "make_verifier",
     "CounterexamplePool",
     "RepairDriver",
+    "DriverConfig",
     "DriverReport",
     "ShardedSyrennEngine",
     "PartitionCache",
     "JobScheduler",
+    "api",
     "__version__",
 ]

@@ -1,5 +1,8 @@
 """The counterexample-guided repair driver (verify → pool → repair → re-verify).
 
+* :class:`repro.driver.config.DriverConfig` — the frozen, JSON-round-trip
+  configuration of a driver run (every algorithm knob, no runtime
+  resources); the unit the job daemon's declarative API is built on.
 * :class:`repro.driver.pool.CounterexamplePool` — deduplicating,
   checkpointable store of verification counterexamples; converts into a
   batched pointwise repair specification.
@@ -8,8 +11,8 @@
   :class:`repro.driver.driver.DriverReport` is its structured outcome.
 """
 
+from repro.driver.config import DEFAULT_REPAIR_MARGIN, DriverConfig
 from repro.driver.driver import (
-    DEFAULT_REPAIR_MARGIN,
     DriverReport,
     DriverTiming,
     RepairDriver,
@@ -20,6 +23,7 @@ from repro.driver.pool import CounterexamplePool
 __all__ = [
     "DEFAULT_REPAIR_MARGIN",
     "CounterexamplePool",
+    "DriverConfig",
     "DriverReport",
     "DriverTiming",
     "RepairDriver",

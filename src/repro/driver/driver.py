@@ -52,13 +52,16 @@ workload lands in).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.ddnn import DecoupledNetwork
 from repro.core.point_repair import IncrementalPointRepairSession, point_repair
 from repro.core.result import RepairTiming
 from repro.core.specs import PolytopeRepairSpec
+from repro.driver.config import DEFAULT_REPAIR_MARGIN, DriverConfig
 from repro.driver.pool import CounterexamplePool
 from repro.exceptions import RepairError
 from repro.experiments.metrics import drawdown as drawdown_metric
@@ -66,9 +69,17 @@ from repro.nn.network import Network
 from repro.utils.timing import Stopwatch, TimeBudget
 from repro.verify.base import VerificationReport, VerificationSpec, Verifier
 
-#: How much every pooled constraint is tightened when building the repair LP,
-#: so repaired outputs survive re-verification strictly.
-DEFAULT_REPAIR_MARGIN = 1e-6
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.engine import Engine
+
+__all__ = [
+    "DEFAULT_REPAIR_MARGIN",
+    "DriverConfig",
+    "DriverReport",
+    "DriverTiming",
+    "RepairDriver",
+    "RoundRecord",
+]
 
 
 @dataclass
@@ -225,6 +236,15 @@ class DriverReport:
 class RepairDriver:
     """Closed-loop verify → pool → repair → re-verify driver.
 
+    The primary constructor is ``RepairDriver(network, spec, verifier,
+    config=DriverConfig(...))``: every *algorithm* knob lives in the frozen,
+    JSON-serializable :class:`~repro.driver.config.DriverConfig`, while
+    runtime resources (``engine``, ``pool``, ``checkpoint_path``,
+    ``holdout``, ``on_round``) stay keyword arguments of the driver itself.
+    The historical keyword sprawl (``mode=...``, ``max_rounds=...``, …)
+    keeps working as a thin shim that builds the config for you; mixing a
+    ``config`` with loose knobs is rejected.
+
     Parameters
     ----------
     network:
@@ -298,6 +318,11 @@ class RepairDriver:
         way to scale round counts).
     norm, backend, delta_bound, batched, sparse:
         Forwarded to :func:`repro.core.point_repair.point_repair`.
+    on_round:
+        Optional callback invoked with each :class:`RoundRecord` as the
+        driver finishes with it (its fields final).  This is the progress
+        stream the job daemon relays to polling clients; exceptions from
+        the callback propagate and abort the run.
     """
 
     def __init__(
@@ -306,37 +331,27 @@ class RepairDriver:
         spec: VerificationSpec | PolytopeRepairSpec,
         verifier: Verifier,
         *,
-        mode: str = "point",
-        layer_schedule: list[int] | None = None,
-        repair_margin: float = DEFAULT_REPAIR_MARGIN,
-        max_rounds: int = 10,
-        budget_seconds: float | None = None,
+        config: DriverConfig | None = None,
         holdout: tuple | None = None,
         checkpoint_path: str | Path | None = None,
         pool: CounterexamplePool | None = None,
-        engine=None,
-        incremental: bool = False,
-        warm_start: bool = True,
-        max_new_counterexamples: int | None = None,
-        norm: str = "linf",
-        backend: str | None = None,
-        delta_bound: float | None = None,
-        batched: bool = True,
-        sparse: bool | None = None,
+        engine: Engine | None = None,
+        on_round: Callable[[RoundRecord], None] | None = None,
+        **knobs,
     ) -> None:
-        if max_rounds < 1:
-            raise RepairError("the driver needs at least one round")
-        if incremental and not batched:
-            raise RepairError("incremental mode requires the batched repair engine")
-        if max_new_counterexamples is not None and max_new_counterexamples < 1:
-            raise RepairError("max_new_counterexamples must be positive (or None)")
-        if mode not in ("point", "polytope"):
-            raise RepairError(f'mode must be "point" or "polytope", got {mode!r}')
+        if config is None:
+            config = DriverConfig(**knobs)  # the back-compat keyword shim
+        elif knobs:
+            raise RepairError(
+                "pass algorithm knobs either via config=... or as keywords, "
+                f"not both (got {sorted(knobs)} alongside a config)"
+            )
+        self.config = config
         if isinstance(spec, PolytopeRepairSpec):
-            if mode != "polytope":
+            if config.mode != "polytope":
                 raise RepairError('a PolytopeRepairSpec requires mode="polytope"')
             spec = VerificationSpec.from_polytope_spec(spec)
-        self.mode = mode
+        self.mode = config.mode
         self.base = (
             network.copy()
             if isinstance(network, DecoupledNetwork)
@@ -346,16 +361,17 @@ class RepairDriver:
         self.spec = spec
         self.verifier = verifier
         self.engine = engine
+        self.on_round = on_round
         self.layer_schedule = (
-            list(layer_schedule)
-            if layer_schedule is not None
+            list(config.layer_schedule)
+            if config.layer_schedule is not None
             else list(reversed(self.base.repairable_layer_indices()))
         )
         if not self.layer_schedule:
             raise RepairError("the layer schedule is empty")
-        self.repair_margin = float(repair_margin)
-        self.max_rounds = int(max_rounds)
-        self.budget_seconds = budget_seconds
+        self.repair_margin = config.repair_margin
+        self.max_rounds = config.max_rounds
+        self.budget_seconds = config.budget_seconds
         self.holdout = holdout
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
         if pool is not None:
@@ -364,14 +380,14 @@ class RepairDriver:
             self.pool = CounterexamplePool.load(self.checkpoint_path)
         else:
             self.pool = CounterexamplePool()
-        self.incremental = bool(incremental)
-        self.warm_start = bool(warm_start)
-        self.max_new_counterexamples = max_new_counterexamples
-        self.norm = norm
-        self.backend = backend
-        self.delta_bound = delta_bound
-        self.batched = batched
-        self.sparse = sparse
+        self.incremental = config.incremental
+        self.warm_start = config.warm_start
+        self.max_new_counterexamples = config.max_new_counterexamples
+        self.norm = config.norm
+        self.backend = config.backend
+        self.delta_bound = config.delta_bound
+        self.batched = config.batched
+        self.sparse = config.sparse
         self._session: IncrementalPointRepairSession | None = None
         # Pool *entries* already encoded into the standing session: in
         # polytope mode one entry expands to several LP points, so the
@@ -463,6 +479,7 @@ class RepairDriver:
 
             if report.num_violated == 0:
                 status = "certified" if report.certified else "clean"
+                self._emit(record)
                 break
 
             new = self._pool_intake(report.counterexamples)
@@ -480,6 +497,7 @@ class RepairDriver:
                 repaired_at_cursor = False
                 if layer_cursor >= len(self.layer_schedule):
                     status = "stalled"
+                    self._emit(record)
                     break
 
             result = None
@@ -510,6 +528,7 @@ class RepairDriver:
                 repaired_at_cursor = False
             if result is None or not result.feasible:
                 status = "infeasible"
+                self._emit(record)
                 break
 
             current = result.network
@@ -518,6 +537,7 @@ class RepairDriver:
             if self.holdout is not None:
                 inputs, labels = self.holdout
                 record.drawdown = drawdown_metric(self.buggy, current, inputs, labels)
+            self._emit(record)
 
         if report_is_stale:
             # The loop ran out of rounds (or budget) right after a repair:
@@ -548,6 +568,11 @@ class RepairDriver:
             incremental=self.incremental,
             mode=self.mode,
         )
+
+    def _emit(self, record: RoundRecord) -> None:
+        """Hand a finished round record to the ``on_round`` progress callback."""
+        if self.on_round is not None:
+            self.on_round(record)
 
     def _pool_intake(self, counterexamples: list) -> int:
         """Pool a verification pass's counterexamples; returns how many were new.

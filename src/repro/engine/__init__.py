@@ -20,8 +20,17 @@ from repro.engine.jobs import Job, JobScheduler
 from repro.engine.sharding import merge_line_partitions, shard_polygon, shard_segment
 from repro.syrenn.regions import LinearRegion, geometry_digest
 
+#: The engine type every ``engine=`` parameter across ``repro.verify`` and
+#: ``repro.driver`` is annotated with.  An alias rather than a protocol on
+#: purpose: :class:`ShardedSyrennEngine` *is* the engine contract
+#: (``decompose`` / ``evaluate_batches`` / ``evaluate_regions`` /
+#: ``sample_regions`` / ``stats``), and thin wrappers — like the job
+#: daemon's lock-serializing proxy — duck-type it.
+Engine = ShardedSyrennEngine
+
 __all__ = [
     "BoundedLru",
+    "Engine",
     "CacheStats",
     "Job",
     "JobScheduler",

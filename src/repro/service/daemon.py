@@ -1,0 +1,505 @@
+"""Repair-as-a-service: the long-lived job daemon.
+
+:class:`RepairService` owns the warm state that makes a shared daemon worth
+running — one :class:`~repro.engine.engine.ShardedSyrennEngine` worker pool
+and one fingerprint-keyed :class:`~repro.engine.cache.PartitionCache` — and
+multiplexes any number of concurrent repair/verify jobs over them from a
+small thread pool.  Because value-channel repair never moves linear regions,
+decompositions cached by one job are hits for every later job on the same
+network fingerprint, which is where the warm-versus-cold speedup of
+``benchmarks/bench_service.py`` comes from.
+
+The engine is *not* thread-safe (its :class:`~repro.engine.jobs.JobScheduler`
+keeps per-dispatch state), so jobs reach it through :class:`SharedEngine`, a
+proxy that serializes every engine call under one lock.  Each call is
+self-contained and deterministic — results depend only on the inputs and the
+(value-independent) cache — so interleaving calls from concurrent jobs
+changes nothing about any job's bytes, only their wall-clock.
+
+Every job is durably persisted under ``state_dir/jobs`` as a JSON document
+(atomically: temp file + ``os.replace``) at every state transition *and*
+after every driver round, alongside the driver's counterexample-pool
+checkpoint (``<job-id>.pool.npz``).  A daemon killed mid-job and restarted
+on the same ``state_dir`` requeues the interrupted job and the driver
+resumes from the checkpointed pool instead of rediscovering it.
+
+:class:`ServiceHTTPServer` fronts a service with the stdlib HTTP layer::
+
+    POST /jobs            submit a job document     -> {"id": ...}
+    GET  /jobs            list job summaries
+    GET  /jobs/<id>       status + per-round progress (no result payload)
+    GET  /jobs/<id>/result
+                          the finished result (409 while still running)
+    GET  /health          liveness + job counts + engine/cache statistics
+
+Trust model: jobs carry pickled networks, so the daemon executes whatever
+its clients send — bind it to localhost (the default) or an equally trusted
+network only.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import queue
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.driver.driver import RepairDriver, RoundRecord
+from repro.engine import PartitionCache, ShardedSyrennEngine
+from repro.exceptions import SpecificationError
+from repro.service.protocol import ParsedJob, encode_network_b64, parse_job
+from repro.verify.registry import make_verifier
+
+__all__ = [
+    "JobRecord",
+    "RepairService",
+    "ServiceHTTPServer",
+    "SharedEngine",
+    "serve",
+]
+
+#: Job lifecycle states (``queued`` → ``running`` → ``done``/``failed``).
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+_ENGINE_CALLS = (
+    "transform_line",
+    "transform_lines",
+    "transform_plane",
+    "transform_planes",
+    "decompose",
+    "evaluate_batches",
+    "evaluate_regions",
+    "sample_regions",
+    "stats",
+)
+
+
+class SharedEngine:
+    """A lock-serializing proxy that makes one engine safe to share.
+
+    The wrapped engine's scheduler is single-threaded state; this proxy
+    funnels every engine entry point through one lock so concurrent jobs
+    interleave *between* engine calls, never inside one.  It duck-types
+    :class:`~repro.engine.Engine` for the verifiers and the driver.
+    """
+
+    def __init__(self, engine: ShardedSyrennEngine) -> None:
+        self._engine = engine
+        self._lock = threading.Lock()
+
+    @property
+    def cache(self) -> PartitionCache | None:
+        return self._engine.cache
+
+    @property
+    def workers(self) -> int:
+        return self._engine.workers
+
+    def close(self) -> None:
+        with self._lock:
+            self._engine.close()
+
+    def __getattr__(self, name: str):
+        if name not in _ENGINE_CALLS:
+            raise AttributeError(name)
+        method = getattr(self._engine, name)
+
+        @functools.wraps(method)
+        def locked(*args, **kwargs):
+            with self._lock:
+                return method(*args, **kwargs)
+
+        return locked
+
+
+@dataclass
+class JobRecord:
+    """One job's full server-side state (also its persisted JSON document)."""
+
+    job_id: str
+    payload: dict
+    status: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    rounds: list[dict] = field(default_factory=list)
+    result: dict | None = None
+    error: str | None = None
+
+    def document(self, *, include_result: bool = True) -> dict:
+        """The record as a JSON-ready dictionary."""
+        document = {
+            "id": self.job_id,
+            "kind": self.payload.get("kind"),
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "rounds": list(self.rounds),
+            "error": self.error,
+            "job": self.payload,
+        }
+        if include_result:
+            document["result"] = self.result
+        return document
+
+    def summary(self) -> dict:
+        """The short form used by job listings and the health endpoint."""
+        return {
+            "id": self.job_id,
+            "kind": self.payload.get("kind"),
+            "status": self.status,
+            "rounds": len(self.rounds),
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class RepairService:
+    """The job daemon's core: shared warm engine + durable job queue.
+
+    Parameters
+    ----------
+    state_dir:
+        Durable root.  Job documents live in ``state_dir/jobs`` and the
+        partition cache's disk tier in ``state_dir/cache`` (unless an
+        explicit ``cache`` is given).  Restarting a service on the same
+        directory requeues every job that was queued or running.
+    engine_workers:
+        Worker processes of the shared engine (``1`` runs engine tasks
+        inline, which is the right default for small jobs and tests).
+    job_workers:
+        How many jobs run concurrently (each on its own thread, multiplexed
+        over the one shared engine).
+    cache:
+        An explicit :class:`PartitionCache` to share, for embedding the
+        service in-process next to other engine users.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        *,
+        engine_workers: int = 1,
+        job_workers: int = 2,
+        cache: PartitionCache | None = None,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.jobs_dir = self.state_dir / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        if cache is None:
+            cache = PartitionCache(directory=self.state_dir / "cache")
+        self.cache = cache
+        self.engine = SharedEngine(
+            ShardedSyrennEngine(workers=engine_workers, cache=cache)
+        )
+        self._records: dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue()
+        self._stop = threading.Event()
+        self._next_index = 1
+        self._recover()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"repair-job-{i}", daemon=True)
+            for i in range(max(1, int(job_workers)))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Public API (what the HTTP layer calls)
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict) -> str:
+        """Validate and enqueue one job; returns its id.
+
+        Validation happens *here*, synchronously, so a malformed job is the
+        submitter's error (HTTP 400), never a failed job.
+        """
+        parsed = parse_job(payload)
+        with self._lock:
+            job_id = f"job-{self._next_index:06d}"
+            self._next_index += 1
+            record = JobRecord(
+                job_id=job_id, payload=parsed.payload, submitted_at=time.time()
+            )
+            self._records[job_id] = record
+            self._persist_locked(record)
+        self._queue.put(job_id)
+        return job_id
+
+    def status(self, job_id: str) -> dict:
+        """The job's document, sans result payload (cheap to poll)."""
+        record = self._get(job_id)
+        with self._lock:  # snapshot rounds consistently with the worker's appends
+            return record.document(include_result=False)
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's result document (raises while unfinished)."""
+        record = self._get(job_id)
+        with self._lock:
+            if record.status not in (DONE, FAILED):
+                raise _JobUnfinished(job_id, record.status)
+            return {
+                "id": record.job_id,
+                "status": record.status,
+                "error": record.error,
+                "result": record.result,
+            }
+
+    def jobs(self) -> list[dict]:
+        """Summaries of every known job, oldest first."""
+        with self._lock:
+            return [
+                self._records[job_id].summary() for job_id in sorted(self._records)
+            ]
+
+    def health(self) -> dict:
+        """Liveness document: job counts plus engine/cache statistics."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for record in self._records.values():
+                counts[record.status] = counts.get(record.status, 0) + 1
+        return {"ok": True, "jobs": counts, "engine": self.engine.stats()}
+
+    def wait(self, job_id: str, timeout: float | None = None, poll: float = 0.02) -> dict:
+        """Block until the job finishes; returns its result document."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self._get(job_id)
+            with self._lock:
+                finished = record.status in (DONE, FAILED)
+            if finished:
+                return self.result(job_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {record.status} after {timeout}s")
+            time.sleep(poll)
+
+    def stop(self) -> None:
+        """Stop accepting work, let idle workers exit, shut the engine down.
+
+        A job already running finishes (there is no safe preemption point
+        inside an LP solve); its completion is persisted as usual.
+        """
+        self._stop.set()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self.engine.close()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None or self._stop.is_set():
+                return
+            record = self._get(job_id)
+            try:
+                parsed = parse_job(record.payload)
+                self._transition(record, RUNNING)
+                result = self._execute(record, parsed)
+            except Exception as error:  # noqa: BLE001 - any failure fails the job, not the worker
+                with self._lock:
+                    record.error = f"{type(error).__name__}: {error}"
+                self._transition(record, FAILED)
+            else:
+                with self._lock:
+                    record.result = result
+                self._transition(record, DONE)
+
+    def _execute(self, record: JobRecord, parsed: ParsedJob) -> dict:
+        verifier = make_verifier(
+            parsed.verifier_kind, engine=self.engine, **parsed.verifier_params
+        )
+        if parsed.kind == "verify":
+            report = verifier.verify(parsed.network, parsed.spec)
+            return {"report": report.as_dict()}
+
+        def on_round(round_record: RoundRecord) -> None:
+            with self._lock:
+                record.rounds.append(round_record.as_dict())
+                self._persist_locked(record)
+
+        driver = RepairDriver(
+            parsed.network,
+            parsed.spec,
+            verifier,
+            config=parsed.config,
+            engine=self.engine,
+            checkpoint_path=self._checkpoint_path(record.job_id),
+            on_round=on_round,
+        )
+        report = driver.run()
+        return {
+            "report": report.as_dict(),
+            "network": encode_network_b64(report.network),
+        }
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.pool.npz"
+
+    def _persist_locked(self, record: JobRecord) -> None:
+        """Atomically write the record's document (caller holds the lock)."""
+        path = self.jobs_dir / f"{record.job_id}.json"
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(record.document()))
+        os.replace(temporary, path)
+
+    def _transition(self, record: JobRecord, status: str) -> None:
+        with self._lock:
+            record.status = status
+            now = time.time()
+            if status == RUNNING:
+                record.started_at = now
+            else:
+                record.finished_at = now
+            self._persist_locked(record)
+
+    def _recover(self) -> None:
+        """Reload persisted jobs; requeue any the previous daemon never finished.
+
+        A requeued job restarts its driver from round zero, but against the
+        checkpointed counterexample pool (``<job-id>.pool.npz``), so the
+        violations already discovered before the crash are repaired in the
+        very first round instead of being rediscovered one round at a time.
+        """
+        for path in sorted(self.jobs_dir.glob("job-*.json")):
+            try:
+                document = json.loads(path.read_text())
+                record = JobRecord(
+                    job_id=document["id"],
+                    payload=document["job"],
+                    status=document["status"],
+                    submitted_at=document.get("submitted_at", 0.0),
+                    started_at=document.get("started_at"),
+                    finished_at=document.get("finished_at"),
+                    rounds=list(document.get("rounds", [])),
+                    result=document.get("result"),
+                    error=document.get("error"),
+                )
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue  # a torn write of the *temp* file can never land here
+            self._records[record.job_id] = record
+            match = re.fullmatch(r"job-(\d+)", record.job_id)
+            if match is not None:
+                self._next_index = max(self._next_index, int(match.group(1)) + 1)
+            if record.status in (QUEUED, RUNNING):
+                record.status = QUEUED
+                record.rounds = []  # the resumed run re-emits its own rounds
+                record.result = None
+                self._persist_locked(record)
+                self._queue.put(record.job_id)
+
+    def _get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise KeyError(job_id)
+        return record
+
+
+class _JobUnfinished(Exception):
+    """Raised when a result is requested for a job still in flight."""
+
+    def __init__(self, job_id: str, status: str) -> None:
+        super().__init__(f"job {job_id} is still {status}")
+        self.status = status
+
+
+# ----------------------------------------------------------------------
+# HTTP front-end
+# ----------------------------------------------------------------------
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`RepairService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: RepairService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> RepairService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # polling clients would otherwise flood stderr
+
+    def _reply(self, code: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/health":
+                self._reply(200, self.service.health())
+            elif self.path == "/jobs":
+                self._reply(200, {"jobs": self.service.jobs()})
+            else:
+                match = re.fullmatch(r"/jobs/([\w-]+)(/result)?", self.path)
+                if match is None:
+                    self._reply(404, {"error": f"no such route: {self.path}"})
+                elif match.group(2):
+                    self._reply(200, self.service.result(match.group(1)))
+                else:
+                    self._reply(200, self.service.status(match.group(1)))
+        except KeyError as error:
+            self._reply(404, {"error": f"no such job: {error.args[0]}"})
+        except _JobUnfinished as error:
+            self._reply(409, {"error": str(error), "status": error.status})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/jobs":
+            self._reply(404, {"error": f"no such route: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._reply(400, {"error": f"unreadable job body: {error}"})
+            return
+        try:
+            job_id = self.service.submit(payload)
+        except SpecificationError as error:
+            self._reply(400, {"error": str(error)})
+            return
+        self._reply(200, {"id": job_id})
+
+
+def serve(
+    state_dir: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    engine_workers: int = 1,
+    job_workers: int = 2,
+) -> ServiceHTTPServer:
+    """Build a service and bind its HTTP server (does not start serving).
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address``.  Call ``server.serve_forever()`` to run and
+    ``server.service.stop()`` after ``server.shutdown()`` to tear down.
+    """
+    service = RepairService(
+        state_dir, engine_workers=engine_workers, job_workers=job_workers
+    )
+    return ServiceHTTPServer((host, port), service)

@@ -12,6 +12,9 @@
 * :mod:`repro.verify.exact` — :class:`SyrennVerifier`, exact over
   line/plane regions via the SyReNN linear-region decomposition; certifies
   regions or returns true counterexamples.
+* :mod:`repro.verify.registry` — :func:`make_verifier`, the declarative
+  factory that builds any registered verifier from a JSON-representable
+  ``(kind, params)`` description.
 """
 
 from repro.verify.base import (
@@ -25,6 +28,7 @@ from repro.verify.base import (
     Verifier,
 )
 from repro.verify.exact import SyrennVerifier
+from repro.verify.registry import make_verifier, register_verifier, verifier_kinds
 from repro.verify.sampling import GridVerifier, RandomVerifier
 
 __all__ = [
@@ -39,4 +43,7 @@ __all__ = [
     "GridVerifier",
     "RandomVerifier",
     "SyrennVerifier",
+    "make_verifier",
+    "register_verifier",
+    "verifier_kinds",
 ]

@@ -125,6 +125,34 @@ class VerificationSpec:
             verification.regions.append(SpecRegion(entry.region, entry.constraint))
         return verification
 
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """The spec as a JSON-ready dictionary (the job daemon's wire format).
+
+        Round-trips exactly: arrays are emitted as nested lists of Python
+        floats, whose ``repr`` serialization recovers the identical float64
+        bit patterns, so a spec that travelled through JSON decomposes — and
+        repairs — byte-identically to the original.
+        """
+        return {"regions": [_region_entry_dict(entry) for entry in self.regions]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VerificationSpec":
+        """Rebuild a spec from :meth:`as_dict` output (or hand-written JSON)."""
+        if not isinstance(payload, dict) or "regions" not in payload:
+            raise SpecificationError('a spec payload needs a "regions" list')
+        spec = cls()
+        for index, entry in enumerate(payload["regions"]):
+            try:
+                spec.regions.append(_region_entry_from_dict(entry))
+            except (KeyError, TypeError) as error:
+                raise SpecificationError(
+                    f"malformed spec region {index}: {error}"
+                ) from error
+        return spec
+
     def __post_init__(self) -> None:
         if not isinstance(self.regions, list):
             raise SpecificationError("regions must be a list of SpecRegion entries")
@@ -349,3 +377,44 @@ def _region_dimension(region: InputRegion) -> int:
     if isinstance(region, Box):
         return region.dimension
     return np.atleast_2d(np.asarray(region)).shape[1]
+
+
+def _region_entry_dict(entry: SpecRegion) -> dict:
+    region = entry.region
+    if isinstance(region, LineSegment):
+        payload: dict = {
+            "kind": "segment",
+            "start": region.start.tolist(),
+            "end": region.end.tolist(),
+        }
+    elif isinstance(region, Box):
+        payload = {"kind": "box", "lower": region.lower.tolist(), "upper": region.upper.tolist()}
+    else:
+        payload = {
+            "kind": "plane",
+            "vertices": np.atleast_2d(np.asarray(region, dtype=np.float64)).tolist(),
+        }
+    return {
+        "region": payload,
+        "constraint": {"a": entry.constraint.a.tolist(), "b": entry.constraint.b.tolist()},
+        "name": entry.name,
+    }
+
+
+def _region_entry_from_dict(entry: dict) -> SpecRegion:
+    constraint = HPolytope(entry["constraint"]["a"], entry["constraint"]["b"])
+    payload = entry["region"]
+    kind = payload["kind"]
+    if kind == "segment":
+        region: InputRegion = LineSegment(payload["start"], payload["end"])
+    elif kind == "box":
+        region = Box(payload["lower"], payload["upper"])
+    elif kind == "plane":
+        # SpecRegion is built directly (not via add_plane) so the stored
+        # vertex array — already deduplicated when the spec was authored —
+        # is reproduced exactly, keeping geometry digests and partition-cache
+        # keys identical across the wire.
+        region = np.atleast_2d(np.asarray(payload["vertices"], dtype=np.float64))
+    else:
+        raise SpecificationError(f"unknown region kind {kind!r}")
+    return SpecRegion(region, constraint, entry.get("name", ""))

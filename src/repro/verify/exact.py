@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -49,6 +50,9 @@ from repro.verify.base import (
     VerificationSpec,
     Verifier,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.engine import Engine
 
 
 class SyrennVerifier(Verifier):
@@ -90,7 +94,7 @@ class SyrennVerifier(Verifier):
         self,
         tolerance: float = DEFAULT_TOLERANCE,
         cache_partitions: bool = True,
-        engine=None,
+        engine: Engine | None = None,
         value_only: bool = False,
         region_counterexamples: bool = False,
     ) -> None:

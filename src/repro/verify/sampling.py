@@ -24,6 +24,7 @@ the engine-less sequential stream.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,6 +41,9 @@ from repro.verify.base import (
     VerificationSpec,
     Verifier,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.engine import Engine
 
 
 def grid_region_points(region, resolution: int, max_points: int) -> np.ndarray:
@@ -73,7 +77,7 @@ class _SamplingVerifier(Verifier):
         self,
         tolerance: float = DEFAULT_TOLERANCE,
         max_counterexamples_per_region: int | None = 32,
-        engine=None,
+        engine: Engine | None = None,
     ) -> None:
         super().__init__(tolerance)
         self.max_counterexamples_per_region = max_counterexamples_per_region
@@ -165,7 +169,7 @@ class GridVerifier(_SamplingVerifier):
         tolerance: float = DEFAULT_TOLERANCE,
         max_points_per_region: int = 4096,
         max_counterexamples_per_region: int | None = 32,
-        engine=None,
+        engine: Engine | None = None,
     ) -> None:
         super().__init__(tolerance, max_counterexamples_per_region, engine)
         if resolution < 2:
@@ -197,7 +201,7 @@ class RandomVerifier(_SamplingVerifier):
         *,
         tolerance: float = DEFAULT_TOLERANCE,
         max_counterexamples_per_region: int | None = 32,
-        engine=None,
+        engine: Engine | None = None,
     ) -> None:
         super().__init__(tolerance, max_counterexamples_per_region, engine)
         if num_samples < 1:

@@ -1,0 +1,401 @@
+"""Tests for repair-as-a-service (repro.service).
+
+Three layers, in increasing integration depth:
+
+* the JSON wire protocol (jobs validate and round-trip losslessly);
+* the in-process :class:`RepairService` (a daemon job is byte-identical to
+  the same run executed standalone — including with two jobs multiplexed
+  concurrently over the shared engine);
+* the HTTP daemon end-to-end (submit → poll → result via
+  :class:`ServiceClient`, and crash recovery: SIGKILL the daemon mid-job,
+  restart it on the same state directory, and watch the job resume from the
+  checkpointed counterexample pool instead of rediscovering it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.driver import DriverConfig, RepairDriver
+from repro.exceptions import SpecificationError
+from repro.nn.activations import ReLULayer
+from repro.nn.linear import FullyConnectedLayer
+from repro.nn.network import Network
+from repro.polytope.hpolytope import HPolytope
+from repro.service import (
+    RepairService,
+    ServiceClient,
+    ServiceError,
+    decode_network_b64,
+    make_job,
+    parse_job,
+    serve,
+)
+from repro.utils.rng import ensure_rng
+from repro.verify import SyrennVerifier, VerificationSpec
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def plane_scenario(seed: int) -> tuple[Network, VerificationSpec]:
+    """A seeded scenario the exact-verifier driver certifies in a few rounds."""
+    rng = ensure_rng(seed)
+    network = Network(
+        [
+            FullyConnectedLayer.from_shape(2, 8, rng),
+            ReLULayer(8),
+            FullyConnectedLayer.from_shape(8, 6, rng),
+            ReLULayer(6),
+            FullyConnectedLayer.from_shape(6, 3, rng),
+        ]
+    )
+    preds = network.predict(rng.uniform(-1.0, 1.0, size=(400, 2)))
+    winner = int(np.bincount(preds, minlength=3).argmax())
+    spec = VerificationSpec()
+    spec.add_plane(
+        [[-1, -1], [1, -1], [1, 1], [-1, 1]],
+        HPolytope.argmax_region(3, winner, 1e-4),
+    )
+    spec.add_box([-0.5, -1.0], [0.5, 1.0], HPolytope.argmax_region(3, winner, 1e-4))
+    return network, spec
+
+
+def slow_grid_job(seed: int = 12345) -> dict:
+    """A repair job whose rounds take seconds: a dense grid sweep per round.
+
+    Used by the crash-recovery test, which needs a wide window in which the
+    daemon is mid-job (at least one round persisted, more still to run).
+    """
+    rng = ensure_rng(seed)
+    network = Network(
+        [
+            FullyConnectedLayer.from_shape(2, 8, rng),
+            ReLULayer(8),
+            FullyConnectedLayer.from_shape(8, 6, rng),
+            ReLULayer(6),
+            FullyConnectedLayer.from_shape(6, 3, rng),
+        ]
+    )
+    preds = network.predict(rng.uniform(-1.0, 1.0, size=(400, 2)))
+    winner = int(np.bincount(preds, minlength=3).argmax())
+    spec = VerificationSpec()
+    spec.add_box([-1.0, -1.0], [1.0, 1.0], HPolytope.argmax_region(3, winner, 0.2))
+    return make_job(
+        "repair",
+        network,
+        spec,
+        verifier={"kind": "grid", "resolution": 1400, "max_points_per_region": 1400 * 1400},
+        config={"max_rounds": 10},
+    )
+
+
+def parameter_bytes(network) -> list[bytes]:
+    return [
+        layer.get_parameters().tobytes()
+        for layer in network.value.layers
+        if layer.num_parameters
+    ]
+
+
+def raw_parameter_bytes(network: Network) -> list[bytes]:
+    return [
+        layer.get_parameters().tobytes()
+        for layer in network.layers
+        if layer.num_parameters
+    ]
+
+
+TIMING_KEYS = {"seconds", "repair_seconds", "timing"}
+
+
+def comparable(summary: dict) -> dict:
+    """A report dictionary's run-defining content, wall-clock stripped."""
+    summary = {k: v for k, v in summary.items() if k not in TIMING_KEYS and k != "engine"}
+    if summary.get("final_report"):
+        summary["final_report"] = {
+            k: v for k, v in summary["final_report"].items() if k != "seconds"
+        }
+    def normalize(record: dict) -> dict:
+        record = {k: v for k, v in record.items() if k not in TIMING_KEYS}
+        if isinstance(record.get("drawdown"), float) and np.isnan(record["drawdown"]):
+            record["drawdown"] = None  # NaN compares unequal after a JSON trip
+        return record
+
+    summary["rounds"] = [normalize(record) for record in summary["rounds"]]
+    return summary
+
+
+class TestProtocol:
+    def test_job_round_trips_through_json(self):
+        network, spec = plane_scenario(7)
+        job = make_job(
+            "repair",
+            network,
+            spec,
+            verifier={"kind": "random", "num_samples": 64, "seed": 3},
+            config=DriverConfig(max_rounds=4, norm="l1"),
+        )
+        parsed = parse_job(json.loads(json.dumps(job)))
+        assert parsed.kind == "repair"
+        assert parsed.verifier_kind == "random"
+        assert parsed.verifier_params == {"num_samples": 64, "seed": 3}
+        assert parsed.config == DriverConfig(max_rounds=4, norm="l1")
+        assert parsed.spec.num_regions == spec.num_regions
+        assert raw_parameter_bytes(parsed.network) == raw_parameter_bytes(network)
+
+    def test_verifier_as_bare_kind_string(self):
+        network, spec = plane_scenario(7)
+        job = make_job("verify", network, spec, verifier="grid")
+        assert parse_job(job).verifier_kind == "grid"
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda job: job.update(kind="train"), "job kind"),
+            (lambda job: job.pop("network"), '"network"'),
+            (lambda job: job.pop("spec"), '"spec"'),
+            (lambda job: job.update(network="!!!not-base64!!!"), "undecodable network"),
+            (lambda job: job.update(verifier={"kind": "exhaustive"}), "unknown verifier"),
+            (lambda job: job.update(version=99), "protocol version"),
+            (lambda job: job.update(config={"max_round": 1}), "unknown driver config"),
+        ],
+    )
+    def test_malformed_jobs_rejected(self, mutate, match):
+        network, spec = plane_scenario(7)
+        job = make_job("repair", network, spec)
+        mutate(job)
+        with pytest.raises(SpecificationError, match=match):
+            parse_job(job)
+
+    def test_config_only_applies_to_repair_jobs(self):
+        network, spec = plane_scenario(7)
+        job = make_job("verify", network, spec)
+        job["config"] = {"max_rounds": 3}
+        with pytest.raises(SpecificationError, match="only applies to repair"):
+            parse_job(job)
+
+    def test_network_payload_round_trips_bytes(self):
+        network, _ = plane_scenario(7)
+        job_network = decode_network_b64(make_job("verify", network, VerificationSpec())["network"])
+        assert raw_parameter_bytes(job_network) == raw_parameter_bytes(network)
+
+
+class TestRepairServiceInProcess:
+    def test_concurrent_jobs_match_standalone_runs_byte_for_byte(self, tmp_path):
+        """Two jobs multiplexed over one shared engine == two standalone runs."""
+        scenarios = [plane_scenario(12345), plane_scenario(999)]
+        config = DriverConfig(max_rounds=8)
+        baselines = [
+            RepairDriver(network, spec, SyrennVerifier(), config=config).run()
+            for network, spec in scenarios
+        ]
+        service = RepairService(tmp_path / "state", job_workers=2)
+        try:
+            job_ids = [
+                service.submit(make_job("repair", network, spec, config=config))
+                for network, spec in scenarios
+            ]
+            results = [service.wait(job_id, timeout=240) for job_id in job_ids]
+        finally:
+            service.stop()
+        for baseline, result in zip(baselines, results):
+            assert result["status"] == "done"
+            assert baseline.status == "certified"
+            served_report = result["result"]["report"]
+            assert comparable(served_report) == comparable(baseline.as_dict())
+            served_network = decode_network_b64(result["result"]["network"])
+            assert parameter_bytes(served_network) == parameter_bytes(baseline.network)
+
+    def test_verify_job(self, tmp_path):
+        network, spec = plane_scenario(12345)
+        service = RepairService(tmp_path / "state")
+        try:
+            job_id = service.submit(
+                make_job("verify", network, spec, verifier={"kind": "grid", "resolution": 8})
+            )
+            result = service.wait(job_id, timeout=60)
+        finally:
+            service.stop()
+        report = result["result"]["report"]
+        assert result["status"] == "done"
+        assert report["verifier"] == "grid"
+        assert report["num_regions"] == spec.num_regions
+
+    def test_runtime_failure_marks_job_failed(self, tmp_path):
+        """A job that explodes mid-run fails that job, not the worker."""
+        network, _ = plane_scenario(12345)
+        bad_spec = VerificationSpec()
+        bad_spec.add_box([-1.0] * 3, [1.0] * 3, HPolytope.argmax_region(3, 0, 0.0))
+        service = RepairService(tmp_path / "state")
+        try:
+            job_id = service.submit(make_job("verify", network, bad_spec))
+            result = service.wait(job_id, timeout=60)
+            assert result["status"] == "failed"
+            assert "SpecificationError" in result["error"]
+            # The worker survived: a good job still completes afterwards.
+            network, spec = plane_scenario(12345)
+            ok = service.wait(service.submit(make_job("verify", network, spec)), timeout=60)
+            assert ok["status"] == "done"
+        finally:
+            service.stop()
+
+    def test_round_records_stream_while_running(self, tmp_path):
+        network, spec = plane_scenario(12345)
+        service = RepairService(tmp_path / "state")
+        try:
+            job_id = service.submit(
+                make_job("repair", network, spec, config={"max_rounds": 8})
+            )
+            result = service.wait(job_id, timeout=240)
+            status = service.status(job_id)
+        finally:
+            service.stop()
+        assert result["status"] == "done"
+        assert status["rounds"]
+        assert status["rounds"][0]["round_index"] == 0
+        assert "result" not in status  # polling stays cheap
+        # ... and the persisted document survives a service restart.
+        reloaded = RepairService(tmp_path / "state")
+        try:
+            assert reloaded.result(job_id)["result"]["report"]["status"] == "certified"
+        finally:
+            reloaded.stop()
+
+    def test_unknown_and_unfinished_jobs(self, tmp_path):
+        service = RepairService(tmp_path / "state")
+        try:
+            with pytest.raises(KeyError):
+                service.status("job-999999")
+            health = service.health()
+            assert health["ok"] and health["jobs"] == {}
+        finally:
+            service.stop()
+
+
+@pytest.fixture
+def http_server(tmp_path):
+    server = serve(tmp_path / "state", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.stop()
+        thread.join(timeout=10)
+
+
+class TestHTTPEndToEnd:
+    def test_submit_poll_result(self, http_server):
+        client, _ = http_server
+        network, spec = plane_scenario(12345)
+        baseline = RepairDriver(
+            network, spec, SyrennVerifier(), config=DriverConfig(max_rounds=8)
+        ).run()
+
+        assert client.health()["ok"]
+        job_id = client.submit(make_job("repair", network, spec, config={"max_rounds": 8}))
+        result = client.wait(job_id, timeout=240)
+        assert result["status"] == "done"
+        assert comparable(result["result"]["report"]) == comparable(baseline.as_dict())
+        served = decode_network_b64(result["result"]["network"])
+        assert parameter_bytes(served) == parameter_bytes(baseline.network)
+
+        status = client.status(job_id)
+        assert status["status"] == "done"
+        assert [r["round_index"] for r in status["rounds"]] == list(range(len(status["rounds"])))
+        assert any(job["id"] == job_id for job in client.jobs())
+
+    def test_http_error_codes(self, http_server):
+        client, _ = http_server
+        with pytest.raises(ServiceError) as not_found:
+            client.status("job-424242")
+        assert not_found.value.status == 404
+        with pytest.raises(ServiceError) as bad_job:
+            client.submit({"kind": "repair"})
+        assert bad_job.value.status == 400
+
+
+@pytest.mark.slow
+class TestDaemonCrashRecovery:
+    def _start_daemon(self, state_dir: Path, port: int = 0) -> tuple[subprocess.Popen, str]:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.service",
+             "--state-dir", str(state_dir), "--port", str(port), "--job-workers", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        banner: list[str] = []
+        reader = threading.Thread(
+            target=lambda: banner.append(process.stdout.readline()), daemon=True
+        )
+        reader.start()
+        reader.join(timeout=60)
+        assert banner and banner[0].startswith("listening on "), (
+            f"daemon did not come up: {banner}"
+        )
+        return process, banner[0].split("listening on ", 1)[1].strip()
+
+    def test_sigkill_mid_job_then_resume_from_checkpoint(self, tmp_path):
+        state_dir = tmp_path / "state"
+        job = slow_grid_job()
+        process, url = self._start_daemon(state_dir)
+        try:
+            client = ServiceClient(url)
+            job_id = client.submit(job)
+            # Wait until at least one round has been persisted, then pull the
+            # plug while the next round's (multi-second) verify is running.
+            deadline = time.monotonic() + 120
+            while True:
+                status = client.status(job_id)
+                if status["rounds"]:
+                    break
+                if status["status"] in ("done", "failed") or time.monotonic() > deadline:
+                    pytest.skip(f"no mid-job window to kill in: {status['status']}")
+                time.sleep(0.05)
+            process.kill()
+            process.wait(timeout=30)
+        finally:
+            process.kill()
+            process.stdout.close()
+            process.wait(timeout=30)
+
+        on_disk = json.loads((state_dir / "jobs" / f"{job_id}.json").read_text())
+        assert on_disk["status"] == "running"
+        pre_kill_rounds = on_disk["rounds"]
+        assert pre_kill_rounds and pre_kill_rounds[0]["new_counterexamples"] > 0
+        assert (state_dir / "jobs" / f"{job_id}.pool.npz").exists()
+
+        process, url = self._start_daemon(state_dir)
+        try:
+            result = ServiceClient(url).wait(job_id, timeout=240)
+            assert result["status"] == "done"
+            resumed_rounds = result["result"]["report"]["rounds"]
+            # The resumed driver loaded the checkpointed pool: its first round
+            # rediscovers the same grid violations, every one a duplicate.
+            assert resumed_rounds[0]["new_counterexamples"] == 0
+            assert resumed_rounds[0]["pool_size"] >= pre_kill_rounds[0]["pool_size"]
+            assert resumed_rounds[0]["repair_attempted"]
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=30)
+            finally:
+                process.kill()
+                process.stdout.close()
+                process.wait(timeout=30)
