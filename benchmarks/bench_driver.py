@@ -33,6 +33,8 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
+from conftest import telemetry_document
 from repro.core.point_repair import point_repair
 from repro.core.specs import PointRepairSpec
 from repro.driver import RepairDriver
@@ -227,9 +229,11 @@ def main() -> None:
         help="where to write the JSON report (default: BENCH_driver.json)",
     )
     args = parser.parse_args()
+    obs.enable()
     if args.smoke:
         args.regions, args.depth, args.width, args.resolution = [2], 2, 12, 12
     report = run_benchmark(args.regions, args.depth, args.width, args.resolution, args.seed)
+    report["telemetry"] = telemetry_document()
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 

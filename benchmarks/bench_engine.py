@@ -38,6 +38,8 @@ import tempfile
 import time
 from pathlib import Path
 
+import repro.obs as obs
+from conftest import telemetry_document
 from repro.datasets.acas import phi8_property
 from repro.engine import PartitionCache, ShardedSyrennEngine
 from repro.experiments.task3_acas import safe_advisory_constraint
@@ -224,6 +226,7 @@ def main() -> None:
         help="where to write the JSON report (default: BENCH_engine.json)",
     )
     args = parser.parse_args()
+    obs.enable()
     defaults = (
         {"slices": [4], "workers": 2, "hidden": 8, "layers": 2}
         if args.tiny
@@ -240,6 +243,7 @@ def main() -> None:
         hidden_layers=args.layers,
         seed=args.seed,
     )
+    report["telemetry"] = telemetry_document()
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 

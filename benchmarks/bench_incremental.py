@@ -49,6 +49,8 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
+from conftest import telemetry_document
 from repro.datasets.acas import phi8_property
 from repro.driver import RepairDriver
 from repro.experiments.task3_acas import Task3Setup, strengthened_verification_spec
@@ -241,6 +243,7 @@ def main() -> None:
         help="where to write the JSON report (default: BENCH_incremental.json)",
     )
     args = parser.parse_args()
+    obs.enable()
     defaults = (
         {"rations": [6], "slices": 3, "hidden": 12, "layers": 3}
         if args.smoke
@@ -257,6 +260,7 @@ def main() -> None:
         seed=args.seed,
         min_round_speedup=args.min_round_speedup or None,
     )
+    report["telemetry"] = telemetry_document()
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 

@@ -30,6 +30,8 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
+from conftest import telemetry_document
 from repro.core.point_repair import point_repair
 from repro.core.specs import PointRepairSpec
 from repro.nn.activations import ReLULayer
@@ -180,7 +182,9 @@ def main() -> None:
         help="where to write the JSON report (default: BENCH_lp_scaling.json)",
     )
     args = parser.parse_args()
+    obs.enable()
     report = run_benchmark(args.sizes, args.depth, args.width, args.seed)
+    report["telemetry"] = telemetry_document()
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 

@@ -56,6 +56,8 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
+from conftest import telemetry_document
 from repro.core.ddnn import DecoupledNetwork
 from repro.core.polytope_repair import count_key_points, polytope_repair
 from repro.core.specs import PolytopeRepairSpec
@@ -425,6 +427,7 @@ def main() -> None:
         help="where to write the JSON report (default: BENCH_polytope_driver.json)",
     )
     args = parser.parse_args()
+    obs.enable()
     defaults = (
         {"lines": 2, "train_per_class": 15, "epochs": 8, "slices": 2,
          "hidden": 12, "layers": 3, "ration": 6, "acas_ration": 6, "repeats": 1}
@@ -473,6 +476,7 @@ def main() -> None:
         "python": platform.python_version(),
         "results": records,
     }
+    report["telemetry"] = telemetry_document()
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 

@@ -16,9 +16,9 @@ warm jobs should be markedly faster — this is the speedup a long-lived
 daemon buys over one-process-per-repair, and the report records it as
 ``warm_speedup`` (mean cold latency / mean warm latency).
 
-Latencies are measured *server-side* (``submitted_at`` → ``finished_at``
-from the job documents), so client polling granularity does not pollute
-p50/p99.  Jobs are submitted sequentially; throughput is jobs divided by
+Latencies are measured *server-side* (the daemon's monotonic
+``latency_seconds`` field), so neither client polling granularity nor
+wall-clock adjustments pollute p50/p99.  Jobs are submitted sequentially; throughput is jobs divided by
 phase wall-clock.
 
 The cross-checks are strict and always on: every job must certify, and all
@@ -50,6 +50,8 @@ from tempfile import TemporaryDirectory
 
 import numpy as np
 
+import repro.obs as obs
+from conftest import telemetry_document
 from repro.nn.activations import ReLULayer
 from repro.nn.linear import FullyConnectedLayer
 from repro.nn.network import Network
@@ -102,7 +104,9 @@ def run_phase(client: ServiceClient, jobs: list[dict], label: str) -> dict:
         results.append(
             {
                 "job_id": job_id,
-                "latency_seconds": status["finished_at"] - status["submitted_at"],
+                # Monotonic, computed daemon-side; the wall-clock *_at
+                # timestamps are for humans and can jump under NTP.
+                "latency_seconds": status["latency_seconds"],
                 "rounds": report["num_rounds"],
                 "network": result["result"]["network"],
             }
@@ -223,6 +227,7 @@ def main() -> None:
         help="where to write the JSON report (default: BENCH_service.json)",
     )
     args = parser.parse_args()
+    obs.enable()
     defaults = {"jobs": 3, "width": 16} if args.smoke else {"jobs": 8, "width": 48}
     for name, value in defaults.items():
         if getattr(args, name) is None:
@@ -233,6 +238,7 @@ def main() -> None:
         job_workers=args.job_workers,
         min_warm_speedup=args.min_warm_speedup or None,
     )
+    report["telemetry"] = telemetry_document()
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 

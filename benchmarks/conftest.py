@@ -11,9 +11,30 @@ configuration is both faithful and keeps the whole harness fast.
 
 from __future__ import annotations
 
+import os
+import platform
+
 import pytest
 
+import repro.obs as obs
 from repro.models.zoo import ModelZoo
+
+
+def telemetry_document() -> dict:
+    """The common ``"telemetry"`` block every ``BENCH_*.json`` embeds.
+
+    Standalone bench scripts import this module directly (``from conftest
+    import telemetry_document``) and call it once, right before writing
+    their report: a final dump of the live metrics registry plus the run
+    metadata needed to interpret the numbers later.
+    """
+    return {
+        "obs_enabled": obs.enabled(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "metrics": obs.snapshot(),
+    }
 
 
 @pytest.fixture(scope="session")

@@ -38,6 +38,10 @@ The package is organized as:
     The one-import facade: :func:`repro.api.repair`,
     :func:`repro.api.verify`, and :func:`repro.api.submit` (jobs to a
     running repair daemon).
+``repro.obs``
+    Opt-in observability: a process-wide metrics registry, span-based
+    tracing, Prometheus text exposition, and structured JSON logging.
+    Disabled by default; never touches numerics.
 ``repro.service``
     Repair-as-a-service: a long-lived daemon that accepts declarative
     repair/verify jobs over a small stdlib HTTP API and multiplexes them
@@ -87,6 +91,7 @@ from repro.verify import (
 from repro.driver import CounterexamplePool, DriverConfig, DriverReport, RepairDriver
 from repro.engine import JobScheduler, PartitionCache, ShardedSyrennEngine
 from repro import api
+from repro import obs
 
 __version__ = "1.2.0"
 
@@ -129,5 +134,6 @@ __all__ = [
     "PartitionCache",
     "JobScheduler",
     "api",
+    "obs",
     "__version__",
 ]

@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+import repro.obs as obs
 from repro.core.ddnn import DecoupledNetwork
 from repro.core.point_repair import IncrementalPointRepairSession, point_repair
 from repro.core.result import RepairTiming
@@ -146,6 +147,10 @@ class RoundRecord:
     warm_start_used: bool = False
     lp_iterations: int | None = None
     verify_value_only: bool = False
+    #: Cumulative counters-only metrics snapshot taken as the round was
+    #: emitted (``None`` when telemetry is disabled).  Streamed through
+    #: ``on_round`` and the daemon's ``GET /jobs/<id>`` progress documents.
+    telemetry: dict | None = None
 
     def as_dict(self) -> dict:
         """The record as a JSON-ready dictionary."""
@@ -176,6 +181,9 @@ class DriverReport:
     engine_stats: dict | None = None
     incremental: bool = False
     mode: str = "point"
+    #: Full metrics-registry snapshot taken as the run finished (``None``
+    #: when telemetry is disabled).
+    telemetry: dict | None = None
 
     @property
     def num_rounds(self) -> int:
@@ -230,6 +238,7 @@ class DriverReport:
             "rounds": [record.as_dict() for record in self.rounds],
             "timing": self.timing.as_dict(),
             **({"engine": self.engine_stats} if self.engine_stats is not None else {}),
+            **({"telemetry": self.telemetry} if self.telemetry is not None else {}),
         }
 
 
@@ -431,7 +440,8 @@ class RepairDriver:
         if attach_regions:
             self.verifier.region_counterexamples = True
         try:
-            return self._run()
+            with obs.span("driver.run", mode=self.mode, incremental=self.incremental):
+                return self._run()
         finally:
             if attach:
                 self.verifier.engine = None
@@ -460,7 +470,7 @@ class RepairDriver:
             if budget.exhausted():
                 status = "budget_exhausted"
                 break
-            with watch.phase("verify"):
+            with watch.phase("verify"), obs.span("driver.verify", round=round_index):
                 report = self.verifier.verify(current, self.spec)
             final_report = report
             report_is_stale = False
@@ -503,19 +513,20 @@ class RepairDriver:
             result = None
             while layer_cursor < len(self.layer_schedule):
                 layer_index = self.layer_schedule[layer_cursor]
-                if self.incremental:
-                    result = self._incremental_repair(layer_index, record)
-                else:
-                    result = point_repair(
-                        self.base,
-                        layer_index,
-                        self.pool.point_spec(margin=self.repair_margin),
-                        norm=self.norm,
-                        backend=self.backend,
-                        delta_bound=self.delta_bound,
-                        batched=self.batched,
-                        sparse=self.sparse,
-                    )
+                with obs.span("driver.repair", round=round_index, layer=layer_index):
+                    if self.incremental:
+                        result = self._incremental_repair(layer_index, record)
+                    else:
+                        result = point_repair(
+                            self.base,
+                            layer_index,
+                            self.pool.point_spec(margin=self.repair_margin),
+                            norm=self.norm,
+                            backend=self.backend,
+                            delta_bound=self.delta_bound,
+                            batched=self.batched,
+                            sparse=self.sparse,
+                        )
                 _accumulate(timing.repair, result.timing)
                 record.repair_attempted = True
                 record.repair_feasible = result.feasible
@@ -552,6 +563,12 @@ class RepairDriver:
         timing.other_seconds = max(
             0.0, watch.elapsed() - timing.verify_seconds - timing.repair.total_seconds
         )
+        if obs.enabled():
+            obs.counter(
+                "repro_driver_runs_total",
+                "Driver runs completed, by final status.",
+                labels=("status", "mode"),
+            ).inc(status=status, mode=self.mode)
         return DriverReport(
             status=status,
             certified=final_report.certified if final_report is not None else False,
@@ -567,10 +584,33 @@ class RepairDriver:
             engine_stats=self._engine_stats(),
             incremental=self.incremental,
             mode=self.mode,
+            telemetry=obs.snapshot() if obs.enabled() else None,
         )
 
     def _emit(self, record: RoundRecord) -> None:
-        """Hand a finished round record to the ``on_round`` progress callback."""
+        """Hand a finished round record to the ``on_round`` progress callback.
+
+        With telemetry enabled, the record first picks up round counters and
+        a cumulative counters-only registry snapshot — the compact time
+        dimension polling clients see through ``GET /jobs/<id>``.
+        """
+        if obs.enabled():
+            obs.counter(
+                "repro_driver_rounds_total",
+                "CEGIS verify→repair rounds completed.",
+            ).inc()
+            if record.new_counterexamples:
+                obs.counter(
+                    "repro_driver_counterexamples_total",
+                    "Counterexamples newly admitted to the pool.",
+                ).inc(record.new_counterexamples)
+            if record.repair_attempted:
+                obs.counter(
+                    "repro_driver_repairs_total",
+                    "Repair attempts, by LP feasibility.",
+                    labels=("feasible",),
+                ).inc(feasible="true" if record.repair_feasible else "false")
+            record.telemetry = obs.snapshot(kinds=("counter",))
         if self.on_round is not None:
             self.on_round(record)
 

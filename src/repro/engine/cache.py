@@ -32,10 +32,20 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.utils.serialization import default_cache_dir, load_arrays, save_arrays
 
 #: A cache key: (network fingerprint, geometry digest).
 CacheKey = tuple[str, str]
+
+
+def _record_request(tier: str, result: str) -> None:
+    """Mirror one tier lookup into the metrics registry (obs-enabled only)."""
+    obs.counter(
+        "repro_cache_requests_total",
+        "Partition-cache lookups by tier and outcome.",
+        labels=("tier", "result"),
+    ).inc(tier=tier, result=result)
 
 
 class BoundedLru:
@@ -167,17 +177,26 @@ class PartitionCache:
     # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> dict[str, np.ndarray] | None:
         """Look up a payload, promoting disk hits into the memory tier."""
+        track = obs.enabled()
         payload = self._memory.get(key)
         if payload is not None:
             self.stats.memory.hits += 1
+            if track:
+                _record_request("memory", "hit")
             return payload
         self.stats.memory.misses += 1
+        if track:
+            _record_request("memory", "miss")
         if not self.disk:
             self.stats.disk.misses += 1
+            if track:
+                _record_request("disk", "miss")
             return None
         path = self._disk_path(key)
         if not path.exists():
             self.stats.disk.misses += 1
+            if track:
+                _record_request("disk", "miss")
             return None
         try:
             payload = load_arrays(path)
@@ -186,8 +205,12 @@ class PartitionCache:
             # the next put can replace it instead of crashing forever.
             path.unlink(missing_ok=True)
             self.stats.disk.misses += 1
+            if track:
+                _record_request("disk", "miss")
             return None
         self.stats.disk.hits += 1
+        if track:
+            _record_request("disk", "hit")
         self._insert_memory(key, payload)
         return payload
 
@@ -199,6 +222,12 @@ class PartitionCache:
         """
         self._insert_memory(key, payload)
         self.stats.memory.puts += 1
+        if obs.enabled():
+            obs.counter(
+                "repro_cache_puts_total",
+                "Partition-cache payload stores by tier.",
+                labels=("tier",),
+            ).inc(tier="memory")
         if self.disk:
             path = self._disk_path(key)
             if not path.exists():
@@ -215,9 +244,22 @@ class PartitionCache:
                     if os.path.exists(temp_name):
                         os.unlink(temp_name)
                 self.stats.disk.puts += 1
+                if obs.enabled():
+                    obs.counter(
+                        "repro_cache_puts_total",
+                        "Partition-cache payload stores by tier.",
+                        labels=("tier",),
+                    ).inc(tier="disk")
 
     def _insert_memory(self, key: CacheKey, payload: dict[str, np.ndarray]) -> None:
-        self.stats.memory.evictions += self._memory.put(key, payload)
+        evicted = self._memory.put(key, payload)
+        self.stats.memory.evictions += evicted
+        if evicted and obs.enabled():
+            obs.counter(
+                "repro_cache_evictions_total",
+                "Memory-tier LRU evictions from the partition cache.",
+                labels=("tier",),
+            ).inc(evicted, tier="memory")
 
     # ------------------------------------------------------------------
     def memory_keys(self) -> list[CacheKey]:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine.cache import BoundedLru, PartitionCache
 from repro.engine.jobs import JobScheduler, chunk_spans
 from repro.engine.sharding import merge_line_partitions, shard_polygon, shard_segment
@@ -138,13 +139,38 @@ class ShardedSyrennEngine:
     # ------------------------------------------------------------------
     def _execute_batch(self, tasks: list) -> list:
         """The scheduler's executor: inline for one worker, pooled otherwise."""
+        if obs.enabled():
+            # Counted for every batch, inline or pooled, so the series is
+            # identical at any worker count (scheduler batching is
+            # worker-independent).
+            obs.counter(
+                "repro_engine_batches_total",
+                "Task batches executed by the engine.",
+            ).inc()
         if self.workers == 1 or len(tasks) == 1:
+            # Inline tasks record telemetry straight into the process
+            # registry (run_task handles the obs.enabled() branch itself).
             return [run_task(task) for task in tasks]
         # Each chunk is pickled as one object, and every task in it holds a
         # reference to the *same* payload bytes (see _payload), so pickle's
         # memo ships the network once per chunk — not once per task.
         chunksize = max(1, len(tasks) // (4 * self.workers))
-        return self._ensure_pool().map(run_task, tasks, chunksize=chunksize)
+        if not obs.enabled():
+            return self._ensure_pool().map(run_task, tasks, chunksize=chunksize)
+        # Telemetry-wrapped dispatch: each worker runs its task under a
+        # fresh capture and ships back (result, telemetry).  The wrappers
+        # reference the original task tuples, so the pickle memo still
+        # ships each network payload once per chunk.
+        with obs.span("engine.batch", tasks=len(tasks), workers=self.workers):
+            wrapped = [("obs", task) for task in tasks]
+            raw = self._ensure_pool().map(run_task, wrapped, chunksize=chunksize)
+            results = []
+            # Absorbing in task (input) order is what makes the merged
+            # registry and span tree independent of worker scheduling.
+            for result, telemetry in raw:
+                obs.absorb(telemetry)
+                results.append(result)
+        return results
 
     def _payload(self, network) -> tuple[str, bytes]:
         # Returning the cached bytes object (not a copy) matters: tasks built

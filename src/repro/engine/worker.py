@@ -23,17 +23,25 @@ Task tuples understood by :func:`run_task`:
   vertex with its region's interior point in one stacked pair of arrays;
 * ``("sample", fingerprint, payload, region, seed, num_samples)`` →
   ``(points, outputs)`` with the points drawn worker-side from a generator
-  built from the derived per-region ``seed``.
+  built from the derived per-region ``seed``;
+* ``("obs", inner_task)`` → telemetry wrapper: runs ``inner_task`` under
+  :func:`repro.obs.capture` and returns ``(result, telemetry)``, where
+  ``telemetry`` is the task's metrics snapshot + span export for the parent
+  to :func:`repro.obs.absorb` in task order.  The engine only wraps tasks
+  when telemetry is enabled, so the disabled path ships the exact same
+  tuples (and bytes) it always has.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine.cache import BoundedLru
 from repro.exceptions import EngineError
 from repro.polytope.segment import LineSegment
 from repro.utils.serialization import decode_network
+from repro.utils.timing import wall_cpu_now
 from repro.verify.base import Box, Verifier
 from repro.verify.sampling import random_region_points
 
@@ -48,6 +56,13 @@ def _resolve_network(fingerprint: str, payload: bytes):
     if network is None:
         network = decode_network(payload)
         _NETWORKS.put(fingerprint, network)
+        if obs.enabled():
+            # ``repro_worker_`` prefix: per-process cache behavior depends on
+            # the worker count, so determinism tests exclude this namespace.
+            obs.counter(
+                "repro_worker_network_decodes_total",
+                "Network payload decodes into the per-process worker cache.",
+            ).inc()
     return network
 
 
@@ -74,6 +89,38 @@ def decode_region(encoded: tuple):
 
 def run_task(task: tuple):
     """Execute one engine task; see the module docstring for the formats."""
+    kind = task[0]
+    if kind == "obs":
+        inner = task[1]
+        with obs.capture("engine.worker", task_kind=inner[0]) as captured:
+            result = run_task(inner)
+        return result, captured.telemetry()
+    if obs.enabled():
+        return _run_instrumented(task)
+    return _run(task)
+
+
+def _run_instrumented(task: tuple):
+    """Run one task with per-task metrics and an ``engine.task`` span."""
+    kind = task[0]
+    start_wall, _ = wall_cpu_now()
+    with obs.span("engine.task", kind=kind):
+        result = _run(task)
+    end_wall, _ = wall_cpu_now()
+    obs.counter(
+        "repro_engine_tasks_total",
+        "Engine tasks executed, by task kind.",
+        labels=("kind",),
+    ).inc(kind=kind)
+    obs.histogram(
+        "repro_engine_task_seconds",
+        "Wall-clock seconds per engine task, by task kind.",
+        labels=("kind",),
+    ).observe(end_wall - start_wall, kind=kind)
+    return result
+
+
+def _run(task: tuple):
     kind = task[0]
     if kind == "line":
         from repro.syrenn.line import transform_line

@@ -30,9 +30,48 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+import repro.obs as obs
 from repro.exceptions import LPError
 from repro.lp.expression import LinearExpression
 from repro.lp.status import LPStatus
+from repro.utils.timing import wall_cpu_now
+
+
+def _observed_solve(solver, solve_callable):
+    """Run one backend solve, mirroring it into the telemetry layer.
+
+    The shared wrapper for :meth:`LPModel.solve` and :meth:`LPSession.solve`:
+    an ``lp.solve`` span plus per-backend solve-time histogram and
+    solve/iteration counters.  Telemetry reads the finished solution only —
+    it never influences which backend runs or what it returns.
+    """
+    if not obs.enabled():
+        return solve_callable()
+    start_wall, _ = wall_cpu_now()
+    with obs.span("lp.solve", backend=solver.name):
+        solution = solve_callable()
+    elapsed = wall_cpu_now()[0] - start_wall
+    obs.histogram(
+        "repro_lp_solve_seconds",
+        "Wall-clock seconds per LP solve, by backend.",
+        labels=("backend",),
+    ).observe(elapsed, backend=solver.name)
+    obs.counter(
+        "repro_lp_solves_total",
+        "LP solves by backend, outcome, and warm-start use.",
+        labels=("backend", "status", "warm"),
+    ).inc(
+        backend=solver.name,
+        status=solution.status.value,
+        warm="true" if solution.warm_start_used else "false",
+    )
+    if solution.iterations:
+        obs.counter(
+            "repro_lp_iterations_total",
+            "Simplex/IPM iterations spent, by backend.",
+            labels=("backend",),
+        ).inc(solution.iterations, backend=solver.name)
+    return solution
 
 
 @dataclass
@@ -362,7 +401,8 @@ class LPModel:
             sparse = solver.supports_sparse
         if self._num_variables == 0:
             return LPSolution(LPStatus.OPTIMAL, np.zeros(0), 0.0, "empty model")
-        return solver.solve(*self.standard_form(sparse=sparse))
+        form = self.standard_form(sparse=sparse)
+        return _observed_solve(solver, lambda: solver.solve(*form))
 
     def incremental_session(
         self,
@@ -555,4 +595,8 @@ class LPSession:
             return LPSolution(LPStatus.OPTIMAL, np.zeros(0), 0.0, "empty model")
         if warm_start is not None and warm_start.backend != self._solver.name:
             warm_start = None
-        return self._solver.solve(*self.standard_form(), warm_start=warm_start)
+        form = self.standard_form()
+        handle = warm_start
+        return _observed_solve(
+            self._solver, lambda: self._solver.solve(*form, warm_start=handle)
+        )

@@ -1,0 +1,64 @@
+"""Structured JSON logging for the daemon.
+
+One JSON object per line on the configured stream: ``{"ts": ..., "level":
+..., "event": ..., **fields}``.  This replaces the stdlib
+``BaseHTTPRequestHandler`` stderr noise with lines that are grep-able and
+machine-parseable, and lets job ids be correlated with trace ids.
+
+The logger is a plain object (not the :mod:`logging` module) because the
+daemon needs exactly one sink, one format, and level filtering — and must
+never interleave partial lines from concurrent job threads, which the
+single ``write(line)`` call per event guarantees on line-buffered streams.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+__all__ = ["JsonLogger", "LEVELS"]
+
+LEVELS = ("debug", "info", "warning", "error", "off")
+_RANKS = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class JsonLogger:
+    """Level-filtered one-line-JSON event logger."""
+
+    def __init__(self, level: str = "info", stream=None) -> None:
+        if level not in _RANKS:
+            raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
+        self.level = level
+        self._rank = _RANKS[level]
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def enabled_for(self, level: str) -> bool:
+        return self.level != "off" and _RANKS[level] >= self._rank
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit one event line; non-serialisable field values become strings."""
+        if not self.enabled_for(level):
+            return
+        record = {"ts": time.time(), "level": level, "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=False, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            # Flush so daemon logs stay live under pipes/files, where the
+            # stream is block-buffered rather than line-buffered.
+            self._stream.flush()
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)

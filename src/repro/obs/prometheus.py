@@ -1,0 +1,115 @@
+"""Prometheus text exposition (format 0.0.4) and a human summary table.
+
+Pure functions over :meth:`repro.obs.registry.MetricsRegistry.snapshot`
+documents, so the same renderers serve the live ``/metrics`` endpoint, the
+golden tests, and offline bench reports.  stdlib-only by design.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.registry import COUNTER, GAUGE, HISTOGRAM
+
+__all__ = ["render_prometheus", "render_summary"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    # Label order follows the family's sorted label names (labels is built
+    # from them); the extra ``le`` label renders last, as Prometheus expects.
+    parts = [f'{name}="{_escape_label_value(str(value))}"' for name, value in merged.items()]
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in Prometheus text format.
+
+    Families come out in snapshot (name-sorted) order; histogram buckets are
+    cumulated here, with the canonical ``+Inf`` bucket and ``_sum``/``_count``
+    series.
+    """
+    lines: list[str] = []
+    for name in snapshot:
+        entry = snapshot[name]
+        kind = entry["kind"]
+        lines.append(f"# HELP {name} {_escape_help(entry.get('help', ''))}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind in (COUNTER, GAUGE):
+            for series in entry["series"]:
+                lines.append(
+                    f"{name}{_labels_text(series['labels'])} "
+                    f"{_format_value(series['value'])}"
+                )
+        elif kind == HISTOGRAM:
+            bounds = entry["bounds"]
+            for series in entry["series"]:
+                cumulative = 0
+                for boundary, count in zip(bounds, series["buckets"]):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(series['labels'], {'le': _format_value(boundary)})} "
+                        f"{cumulative}"
+                    )
+                cumulative += series["buckets"][-1]
+                lines.append(
+                    f"{name}_bucket{_labels_text(series['labels'], {'le': '+Inf'})} "
+                    f"{cumulative}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(series['labels'])} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(series['labels'])} {series['count']}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_summary(snapshot: dict) -> str:
+    """A fixed-width table of the snapshot for CLI and bench output.
+
+    Counters and gauges print their value; histograms print count, mean,
+    and max-bucket information compactly.
+    """
+    rows: list[tuple[str, str]] = []
+    for name in snapshot:
+        entry = snapshot[name]
+        kind = entry["kind"]
+        for series in entry["series"]:
+            labels = series["labels"]
+            label_text = ",".join(f"{key}={labels[key]}" for key in labels)
+            display = f"{name}{{{label_text}}}" if label_text else name
+            if kind == HISTOGRAM:
+                count = series["count"]
+                mean = series["sum"] / count if count else 0.0
+                rows.append((display, f"n={count} mean={mean:.6f}s"))
+            else:
+                rows.append((display, _format_value(series["value"])))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(display) for display, _ in rows)
+    return "\n".join(f"{display:<{width}}  {value}" for display, value in rows)

@@ -1,0 +1,175 @@
+"""Span-based tracing: per-run span trees with wall and CPU time.
+
+A :class:`Trace` is one tree of :class:`Span` nodes — one per traced run
+(a repair job, a bench sweep, a CLI invocation).  Spans are opened with
+``obs.span("lp.solve", backend="scipy")`` and nest via a per-trace stack;
+the *current* trace is carried in a :mod:`contextvars` variable so each
+daemon job thread gets its own tree without any global mutable handoff.
+
+Durations come from :func:`repro.utils.timing.wall_cpu_now` — wall time on
+``perf_counter`` and CPU time on ``process_time`` — never ``time.time()``
+deltas.  The single wall-clock timestamp (``started_unix`` on the root) is
+informational only and never subtracted from anything.
+
+Worker propagation: spawn-started engine workers cannot share the parent's
+tree, so each worker task records into a fresh local trace, exports it with
+:meth:`Trace.export`, and the parent grafts the exported children under its
+own active span with :meth:`Span.adopt` — in task order, which is what
+keeps the merged tree deterministic for any worker count.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.utils.timing import wall_cpu_now
+
+__all__ = ["Span", "Trace", "current_trace", "use_trace"]
+
+
+class Span:
+    """One timed operation: name, attributes, wall/CPU seconds, children."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "wall_seconds",
+        "cpu_seconds",
+        "_start_wall",
+        "_start_cpu",
+    )
+
+    def __init__(self, name: str, attributes: dict | None = None) -> None:
+        self.name = name
+        self.attributes = dict(attributes) if attributes else {}
+        self.children: list[Span] = []
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self._start_wall = 0.0
+        self._start_cpu = 0.0
+
+    def _open(self) -> None:
+        self._start_wall, self._start_cpu = wall_cpu_now()
+
+    def _close(self) -> None:
+        wall, cpu = wall_cpu_now()
+        self.wall_seconds = wall - self._start_wall
+        self.cpu_seconds = cpu - self._start_cpu
+
+    def adopt(self, exported: dict) -> None:
+        """Graft an exported span (from :meth:`export`) as a child.
+
+        Used by the engine to merge worker-side traces into the parent tree;
+        callers adopt in task order so the tree is deterministic.
+        """
+        self.children.append(_from_export(exported))
+
+    def export(self) -> dict:
+        """This span (and its subtree) as a JSON-ready dict."""
+        document: dict = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        if self.attributes:
+            document["attributes"] = {
+                key: self.attributes[key] for key in sorted(self.attributes)
+            }
+        if self.children:
+            document["children"] = [child.export() for child in self.children]
+        return document
+
+
+def _from_export(document: dict) -> Span:
+    span = Span(document["name"], document.get("attributes"))
+    span.wall_seconds = float(document.get("wall_seconds", 0.0))
+    span.cpu_seconds = float(document.get("cpu_seconds", 0.0))
+    for child in document.get("children", ()):
+        span.children.append(_from_export(child))
+    return span
+
+
+_TRACE_IDS = itertools.count(1)
+
+
+class Trace:
+    """One span tree plus the open-span stack that builds it.
+
+    The stack is guarded by a lock because the daemon can close a job's
+    trace from a different thread than the one that ran it; within one
+    repair run all spans open and close on a single thread, so the lock is
+    uncontended on the hot path.
+    """
+
+    def __init__(self, name: str = "run", trace_id: str | None = None) -> None:
+        # ``started_unix`` is a timestamp for humans (trace listings), not
+        # an input to any duration arithmetic.
+        self.trace_id = trace_id or f"trace-{next(_TRACE_IDS)}"
+        self.started_unix = time.time()
+        self.root = Span(name)
+        self.root._open()
+        self._stack: list[Span] = [self.root]
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a child span under the innermost open span."""
+        node = Span(name, attributes)
+        with self._lock:
+            self._stack[-1].children.append(node)
+            self._stack.append(node)
+        node._open()
+        try:
+            yield node
+        finally:
+            node._close()
+            with self._lock:
+                # Remove the innermost *matching* entry: exception unwinding
+                # can close spans out of order without corrupting the stack.
+                for index in range(len(self._stack) - 1, 0, -1):
+                    if self._stack[index] is node:
+                        del self._stack[index]
+                        break
+
+    def finish(self) -> None:
+        """Close the root span (idempotent enough for the daemon's purposes)."""
+        self.root._close()
+
+    def adopt(self, exported: dict) -> None:
+        """Graft an exported worker span under the innermost open span."""
+        with self._lock:
+            self._stack[-1].adopt(exported)
+
+    def export(self) -> dict:
+        """The whole trace as a JSON-ready dict (``/jobs/<id>/trace`` body)."""
+        return {
+            "trace_id": self.trace_id,
+            "started_unix": self.started_unix,
+            "root": self.root.export(),
+        }
+
+
+#: The trace the current thread/context records into (None = no tracing).
+_CURRENT: contextvars.ContextVar[Trace | None] = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def current_trace() -> Trace | None:
+    """The active trace for this context, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_trace(trace: Trace | None):
+    """Make ``trace`` the active trace for the dynamic extent of the block."""
+    token = _CURRENT.set(trace)
+    try:
+        yield trace
+    finally:
+        _CURRENT.reset(token)

@@ -12,6 +12,7 @@ import argparse
 import signal
 import sys
 
+from repro.obs import LEVELS
 from repro.service.daemon import serve
 
 
@@ -30,6 +31,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes of the shared SyReNN engine")
     parser.add_argument("--job-workers", type=int, default=2,
                         help="how many jobs run concurrently")
+    parser.add_argument("--log-level", default="info", choices=LEVELS,
+                        help="structured JSON log level on stderr ('off' silences it)")
     options = parser.parse_args(argv)
 
     server = serve(
@@ -38,6 +41,7 @@ def main(argv: list[str] | None = None) -> int:
         port=options.port,
         engine_workers=options.engine_workers,
         job_workers=options.job_workers,
+        log_level=options.log_level,
     )
     host, port = server.server_address[:2]
     print(f"listening on http://{host}:{port}", flush=True)

@@ -76,6 +76,23 @@ class ServiceClient:
         """The finished job's result document (HTTP 409 while in flight)."""
         return self._request(f"/jobs/{job_id}/result")
 
+    def trace(self, job_id: str) -> dict:
+        """The job's exported span tree (HTTP 409 until the job starts)."""
+        return self._request(f"/jobs/{job_id}/trace")
+
+    def metrics(self) -> str:
+        """The daemon's live metrics in Prometheus text exposition format."""
+        request = urllib.request.Request(f"{self.base_url}/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                f"GET /metrics -> HTTP {error.code}", status=error.code
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach daemon at {self.base_url}: {error.reason}") from error
+
     def jobs(self) -> list[dict]:
         """Summaries of every job the daemon knows about."""
         return self._request("/jobs")["jobs"]

@@ -30,7 +30,18 @@ resumes from the checkpointed pool instead of rediscovering it.
     GET  /jobs/<id>       status + per-round progress (no result payload)
     GET  /jobs/<id>/result
                           the finished result (409 while still running)
+    GET  /jobs/<id>/trace
+                          the job's span tree (409 until the job starts)
     GET  /health          liveness + job counts + engine/cache statistics
+    GET  /metrics         Prometheus text exposition of the live registry
+
+The service owns the telemetry lifecycle: constructing one enables
+:mod:`repro.obs` (and ``stop()`` restores the prior state), each job runs
+under its own :class:`~repro.obs.Trace` whose id embeds the job id, and the
+daemon emits one structured JSON log line per request and per job-state
+transition (:class:`~repro.obs.JsonLogger`; level via ``serve(...,
+log_level=)``).  All request/job latencies are computed from monotonic
+clocks; the ``*_at`` wall-clock fields are timestamps for humans only.
 
 Trust model: jobs carry pickled networks, so the daemon executes whatever
 its clients send — bind it to localhost (the default) or an equally trusted
@@ -50,9 +61,11 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+import repro.obs as obs
 from repro.driver.driver import RepairDriver, RoundRecord
 from repro.engine import PartitionCache, ShardedSyrennEngine
 from repro.exceptions import SpecificationError
+from repro.obs import JsonLogger, Trace, use_trace
 from repro.service.protocol import ParsedJob, encode_network_b64, parse_job
 from repro.verify.registry import make_verifier
 
@@ -120,7 +133,17 @@ class SharedEngine:
 
 @dataclass
 class JobRecord:
-    """One job's full server-side state (also its persisted JSON document)."""
+    """One job's full server-side state (also its persisted JSON document).
+
+    The ``*_at`` fields are wall-clock timestamps (display only).  Latencies
+    are computed separately, from the monotonic anchors ``submitted_mono``
+    and ``started_mono``: ``queued_seconds`` (submit → start),
+    ``run_seconds`` (start → finish), and ``latency_seconds`` (submit →
+    finish) — never as differences of ``time.time()`` readings, which jump
+    with clock adjustments.  The anchors themselves are process-local and
+    are not persisted; a job recovered from disk keeps whatever latency
+    fields its document already carried.
+    """
 
     job_id: str
     payload: dict
@@ -131,6 +154,11 @@ class JobRecord:
     rounds: list[dict] = field(default_factory=list)
     result: dict | None = None
     error: str | None = None
+    queued_seconds: float | None = None
+    run_seconds: float | None = None
+    latency_seconds: float | None = None
+    submitted_mono: float | None = field(default=None, repr=False, compare=False)
+    started_mono: float | None = field(default=None, repr=False, compare=False)
 
     def document(self, *, include_result: bool = True) -> dict:
         """The record as a JSON-ready dictionary."""
@@ -141,6 +169,9 @@ class JobRecord:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queued_seconds": self.queued_seconds,
+            "run_seconds": self.run_seconds,
+            "latency_seconds": self.latency_seconds,
             "rounds": list(self.rounds),
             "error": self.error,
             "job": self.payload,
@@ -158,6 +189,7 @@ class JobRecord:
             "rounds": len(self.rounds),
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
+            "latency_seconds": self.latency_seconds,
         }
 
 
@@ -180,6 +212,13 @@ class RepairService:
     cache:
         An explicit :class:`PartitionCache` to share, for embedding the
         service in-process next to other engine users.
+    log_level:
+        Structured-logging threshold (``"debug"``/``"info"``/``"warning"``/
+        ``"error"``/``"off"``).  The default ``"off"`` keeps embedded and
+        test use silent; the CLI front-end defaults to ``"info"``.
+    log_stream:
+        Where JSON log lines go (default ``sys.stderr``); tests pass a
+        ``StringIO``.
     """
 
     def __init__(
@@ -189,10 +228,19 @@ class RepairService:
         engine_workers: int = 1,
         job_workers: int = 2,
         cache: PartitionCache | None = None,
+        log_level: str = "off",
+        log_stream=None,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.jobs_dir = self.state_dir / "jobs"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.log = JsonLogger(log_level, stream=log_stream)
+        # The daemon is the live telemetry surface: it turns obs on for its
+        # lifetime and stop() puts the previous state back, so embedding a
+        # service in a test process never leaks an enabled registry.
+        self._obs_was_enabled = obs.enabled()
+        obs.enable()
+        self._traces: dict[str, Trace] = {}
         if cache is None:
             cache = PartitionCache(directory=self.state_dir / "cache")
         self.cache = cache
@@ -226,10 +274,16 @@ class RepairService:
             job_id = f"job-{self._next_index:06d}"
             self._next_index += 1
             record = JobRecord(
-                job_id=job_id, payload=parsed.payload, submitted_at=time.time()
+                job_id=job_id,
+                payload=parsed.payload,
+                submitted_at=time.time(),
+                submitted_mono=time.monotonic(),
             )
             self._records[job_id] = record
             self._persist_locked(record)
+        self.log.info(
+            "job_submitted", job_id=job_id, kind=parsed.payload.get("kind")
+        )
         self._queue.put(job_id)
         return job_id
 
@@ -267,6 +321,24 @@ class RepairService:
                 counts[record.status] = counts.get(record.status, 0) + 1
         return {"ok": True, "jobs": counts, "engine": self.engine.stats()}
 
+    def trace(self, job_id: str) -> dict:
+        """The job's span tree (raises :class:`_JobUnfinished` until it starts).
+
+        Traces are in-memory only: a job recovered from a previous daemon's
+        disk state has no trace until its resumed run produces one.
+        """
+        self._get(job_id)  # 404 semantics for unknown ids
+        with self._lock:
+            trace = self._traces.get(job_id)
+        if trace is None:
+            record = self._get(job_id)
+            raise _JobUnfinished(job_id, record.status)
+        return trace.export()
+
+    def metrics_text(self) -> str:
+        """The live registry in Prometheus text exposition format."""
+        return obs.render_prometheus()
+
     def wait(self, job_id: str, timeout: float | None = None, poll: float = 0.02) -> dict:
         """Block until the job finishes; returns its result document."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -292,6 +364,9 @@ class RepairService:
         for thread in self._threads:
             thread.join(timeout=30.0)
         self.engine.close()
+        self.log.info("service_stopped", state_dir=str(self.state_dir))
+        if not self._obs_was_enabled:
+            obs.disable()
 
     # ------------------------------------------------------------------
     # Worker side
@@ -316,17 +391,43 @@ class RepairService:
                 self._transition(record, DONE)
 
     def _execute(self, record: JobRecord, parsed: ParsedJob) -> dict:
+        # One trace per job, its id derived from the job id so log lines,
+        # job documents, and GET /jobs/<id>/trace all correlate trivially.
+        trace = Trace(name=f"job.{parsed.kind}", trace_id=f"{record.job_id}-trace")
+        trace.root.attributes["job_id"] = record.job_id
+        with self._lock:
+            self._traces[record.job_id] = trace
+        try:
+            with use_trace(trace):
+                return self._execute_traced(record, parsed)
+        finally:
+            trace.finish()
+
+    def _execute_traced(self, record: JobRecord, parsed: ParsedJob) -> dict:
         verifier = make_verifier(
             parsed.verifier_kind, engine=self.engine, **parsed.verifier_params
         )
         if parsed.kind == "verify":
-            report = verifier.verify(parsed.network, parsed.spec)
+            with obs.span("job.verify", job_id=record.job_id):
+                report = verifier.verify(parsed.network, parsed.spec)
             return {"report": report.as_dict()}
 
         def on_round(round_record: RoundRecord) -> None:
             with self._lock:
                 record.rounds.append(round_record.as_dict())
                 self._persist_locked(record)
+            obs.counter(
+                "repro_service_job_rounds_total",
+                "Driver rounds completed, per job.",
+                labels=("job",),
+            ).inc(job=record.job_id)
+            self.log.debug(
+                "job_round",
+                job_id=record.job_id,
+                round=round_record.round_index,
+                violated=round_record.regions_violated,
+                pool_size=round_record.pool_size,
+            )
 
         driver = RepairDriver(
             parsed.network,
@@ -360,11 +461,40 @@ class RepairService:
         with self._lock:
             record.status = status
             now = time.time()
+            mono = time.monotonic()
             if status == RUNNING:
                 record.started_at = now
+                record.started_mono = mono
+                if record.submitted_mono is not None:
+                    record.queued_seconds = mono - record.submitted_mono
             else:
                 record.finished_at = now
+                if record.started_mono is not None:
+                    record.run_seconds = mono - record.started_mono
+                if record.submitted_mono is not None:
+                    record.latency_seconds = mono - record.submitted_mono
             self._persist_locked(record)
+        obs.counter(
+            "repro_service_jobs_total",
+            "Job state transitions, by new state.",
+            labels=("status",),
+        ).inc(status=status)
+        if status in (DONE, FAILED) and record.run_seconds is not None:
+            obs.histogram(
+                "repro_service_job_seconds",
+                "Job run time (start to finish), by kind.",
+                labels=("kind",),
+            ).observe(record.run_seconds, kind=record.payload.get("kind") or "unknown")
+        self.log.log(
+            "error" if status == FAILED else "info",
+            "job_state",
+            job_id=record.job_id,
+            status=status,
+            trace_id=f"{record.job_id}-trace",
+            queued_seconds=record.queued_seconds,
+            run_seconds=record.run_seconds,
+            error=record.error,
+        )
 
     def _recover(self) -> None:
         """Reload persisted jobs; requeue any the previous daemon never finished.
@@ -387,6 +517,9 @@ class RepairService:
                     rounds=list(document.get("rounds", [])),
                     result=document.get("result"),
                     error=document.get("error"),
+                    queued_seconds=document.get("queued_seconds"),
+                    run_seconds=document.get("run_seconds"),
+                    latency_seconds=document.get("latency_seconds"),
                 )
             except (json.JSONDecodeError, KeyError, TypeError):
                 continue  # a torn write of the *temp* file can never land here
@@ -398,7 +531,14 @@ class RepairService:
                 record.status = QUEUED
                 record.rounds = []  # the resumed run re-emits its own rounds
                 record.result = None
+                # Latency restarts from the requeue: the previous process's
+                # monotonic clock is meaningless here.
+                record.submitted_mono = time.monotonic()
+                record.queued_seconds = None
+                record.run_seconds = None
+                record.latency_seconds = None
                 self._persist_locked(record)
+                self.log.info("job_recovered", job_id=record.job_id)
                 self._queue.put(record.job_id)
 
     def _get(self, job_id: str) -> JobRecord:
@@ -438,51 +578,105 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # polling clients would otherwise flood stderr
+        pass  # replaced by the service's structured one-line-JSON request log
 
-    def _reply(self, code: int, document: dict) -> None:
+    def _finish_request(self, code: int, started_mono: float) -> None:
+        """One structured log line + request metrics per handled request."""
+        elapsed = time.monotonic() - started_mono
+        obs.counter(
+            "repro_service_requests_total",
+            "HTTP requests handled, by method and status code.",
+            labels=("method", "code"),
+        ).inc(method=self.command, code=str(code))
+        self.service.log.info(
+            "request",
+            method=self.command,
+            path=self.path,
+            code=code,
+            seconds=elapsed,
+        )
+
+    def _reply(self, code: int, document: dict, *, started_mono: float) -> None:
         body = json.dumps(document).encode("utf-8")
+        self._send(code, body, "application/json", started_mono)
+
+    def _reply_text(self, code: int, text: str, content_type: str, *, started_mono: float) -> None:
+        self._send(code, text.encode("utf-8"), content_type, started_mono)
+
+    def _send(self, code: int, body: bytes, content_type: str, started_mono: float) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._finish_request(code, started_mono)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        started_mono = time.monotonic()
         try:
             if self.path == "/health":
-                self._reply(200, self.service.health())
+                self._reply(200, self.service.health(), started_mono=started_mono)
+            elif self.path == "/metrics":
+                self._reply_text(
+                    200,
+                    self.service.metrics_text(),
+                    obs.CONTENT_TYPE,
+                    started_mono=started_mono,
+                )
             elif self.path == "/jobs":
-                self._reply(200, {"jobs": self.service.jobs()})
+                self._reply(200, {"jobs": self.service.jobs()}, started_mono=started_mono)
             else:
-                match = re.fullmatch(r"/jobs/([\w-]+)(/result)?", self.path)
+                match = re.fullmatch(r"/jobs/([\w-]+)(/result|/trace)?", self.path)
                 if match is None:
-                    self._reply(404, {"error": f"no such route: {self.path}"})
-                elif match.group(2):
-                    self._reply(200, self.service.result(match.group(1)))
+                    self._reply(
+                        404,
+                        {"error": f"no such route: {self.path}"},
+                        started_mono=started_mono,
+                    )
+                elif match.group(2) == "/result":
+                    self._reply(
+                        200, self.service.result(match.group(1)), started_mono=started_mono
+                    )
+                elif match.group(2) == "/trace":
+                    self._reply(
+                        200, self.service.trace(match.group(1)), started_mono=started_mono
+                    )
                 else:
-                    self._reply(200, self.service.status(match.group(1)))
+                    self._reply(
+                        200, self.service.status(match.group(1)), started_mono=started_mono
+                    )
         except KeyError as error:
-            self._reply(404, {"error": f"no such job: {error.args[0]}"})
+            self._reply(
+                404, {"error": f"no such job: {error.args[0]}"}, started_mono=started_mono
+            )
         except _JobUnfinished as error:
-            self._reply(409, {"error": str(error), "status": error.status})
+            self._reply(
+                409,
+                {"error": str(error), "status": error.status},
+                started_mono=started_mono,
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        started_mono = time.monotonic()
         if self.path != "/jobs":
-            self._reply(404, {"error": f"no such route: {self.path}"})
+            self._reply(
+                404, {"error": f"no such route: {self.path}"}, started_mono=started_mono
+            )
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as error:
-            self._reply(400, {"error": f"unreadable job body: {error}"})
+            self._reply(
+                400, {"error": f"unreadable job body: {error}"}, started_mono=started_mono
+            )
             return
         try:
             job_id = self.service.submit(payload)
         except SpecificationError as error:
-            self._reply(400, {"error": str(error)})
+            self._reply(400, {"error": str(error)}, started_mono=started_mono)
             return
-        self._reply(200, {"id": job_id})
+        self._reply(200, {"id": job_id}, started_mono=started_mono)
 
 
 def serve(
@@ -492,14 +686,22 @@ def serve(
     port: int = 8642,
     engine_workers: int = 1,
     job_workers: int = 2,
+    log_level: str = "off",
+    log_stream=None,
 ) -> ServiceHTTPServer:
     """Build a service and bind its HTTP server (does not start serving).
 
     ``port=0`` binds an ephemeral port; read the actual one from
     ``server.server_address``.  Call ``server.serve_forever()`` to run and
     ``server.service.stop()`` after ``server.shutdown()`` to tear down.
+    ``log_level`` controls the structured JSON request/job log (one of
+    :data:`repro.obs.LEVELS`; ``"off"`` keeps the daemon silent).
     """
     service = RepairService(
-        state_dir, engine_workers=engine_workers, job_workers=job_workers
+        state_dir,
+        engine_workers=engine_workers,
+        job_workers=job_workers,
+        log_level=log_level,
+        log_stream=log_stream,
     )
     return ServiceHTTPServer((host, port), service)

@@ -12,8 +12,18 @@ import time
 from contextlib import contextmanager
 
 
+def wall_cpu_now() -> tuple[float, float]:
+    """The pair every duration in this codebase is computed from.
+
+    ``perf_counter`` for wall time and ``process_time`` for CPU time —
+    both monotonic, so differences are always valid durations.
+    ``time.time()`` is for timestamps only and must never be subtracted.
+    """
+    return time.perf_counter(), time.process_time()
+
+
 class Stopwatch:
-    """Accumulates wall-clock time per named phase.
+    """Accumulates wall-clock and CPU time per named phase.
 
     Usage::
 
@@ -22,36 +32,49 @@ class Stopwatch:
             ...
         with watch.phase("lp"):
             ...
-        watch.totals()   # {"jacobian": 0.12, "lp": 1.3}
+        watch.totals()       # {"jacobian": 0.12, "lp": 1.3}
+        watch.cpu_totals()   # {"jacobian": 0.11, "lp": 1.2}
     """
 
     def __init__(self) -> None:
         self._totals: dict[str, float] = {}
+        self._cpu_totals: dict[str, float] = {}
         self._started = time.perf_counter()
 
     @contextmanager
     def phase(self, name: str):
-        """Context manager that adds the elapsed time to phase ``name``."""
-        start = time.perf_counter()
+        """Context manager that adds the elapsed wall/CPU time to phase ``name``."""
+        start_wall, start_cpu = wall_cpu_now()
         try:
             yield self
         finally:
-            elapsed = time.perf_counter() - start
-            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            end_wall, end_cpu = wall_cpu_now()
+            self._totals[name] = self._totals.get(name, 0.0) + (end_wall - start_wall)
+            self._cpu_totals[name] = self._cpu_totals.get(name, 0.0) + (end_cpu - start_cpu)
 
-    def add(self, name: str, seconds: float) -> None:
-        """Manually add ``seconds`` to phase ``name``."""
-        if seconds < 0:
+    def add(self, name: str, seconds: float, cpu_seconds: float = 0.0) -> None:
+        """Manually add wall (and optionally CPU) ``seconds`` to phase ``name``."""
+        if seconds < 0 or cpu_seconds < 0:
             raise ValueError("seconds must be non-negative")
         self._totals[name] = self._totals.get(name, 0.0) + seconds
+        if cpu_seconds:
+            self._cpu_totals[name] = self._cpu_totals.get(name, 0.0) + cpu_seconds
 
     def total(self, name: str) -> float:
         """Total seconds recorded for phase ``name`` (0.0 if never used)."""
         return self._totals.get(name, 0.0)
 
     def totals(self) -> dict[str, float]:
-        """A copy of the per-phase totals."""
+        """A copy of the per-phase wall-clock totals."""
         return dict(self._totals)
+
+    def cpu_total(self, name: str) -> float:
+        """Total CPU seconds recorded for phase ``name`` (0.0 if never used)."""
+        return self._cpu_totals.get(name, 0.0)
+
+    def cpu_totals(self) -> dict[str, float]:
+        """A copy of the per-phase CPU-time totals."""
+        return dict(self._cpu_totals)
 
     def elapsed(self) -> float:
         """Seconds since the stopwatch was created."""

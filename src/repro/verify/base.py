@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.ddnn import DecoupledNetwork
 from repro.core.specs import PolytopeRepairSpec, dedupe_exact_vertices
 from repro.exceptions import SpecificationError
@@ -351,6 +352,41 @@ class Verifier(abc.ABC):
             activations = np.broadcast_to(activation_point, points.shape)
             return np.atleast_2d(network.compute(points, np.ascontiguousarray(activations)))
         return np.atleast_2d(network.compute(points))
+
+    def _publish_report(self, report: VerificationReport) -> VerificationReport:
+        """Mirror a finished report into the metrics registry (pass-through).
+
+        Every verifier routes its return value through here; with telemetry
+        disabled this is a single branch and the report comes back untouched
+        either way.
+        """
+        if obs.enabled():
+            obs.counter(
+                "repro_verify_runs_total",
+                "Verification passes by verifier and fast-path use.",
+                labels=("verifier", "value_only"),
+            ).inc(
+                verifier=report.verifier,
+                value_only="true" if report.value_only else "false",
+            )
+            obs.histogram(
+                "repro_verify_seconds",
+                "Wall-clock seconds per verification pass, by verifier.",
+                labels=("verifier",),
+            ).observe(report.seconds, verifier=report.verifier)
+            statuses = obs.counter(
+                "repro_verify_regions_total",
+                "Spec-region verdicts across all verification passes.",
+                labels=("status",),
+            )
+            for status, count in (
+                ("certified", report.num_certified),
+                ("violated", report.num_violated),
+                ("unknown", report.num_unknown),
+            ):
+                if count:
+                    statuses.inc(count, status=status)
+        return report
 
     def _check_spec(self, network: Network | DecoupledNetwork, spec: VerificationSpec) -> None:
         """Validate region dimensions against the network's input size."""

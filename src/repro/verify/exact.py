@@ -197,14 +197,16 @@ class SyrennVerifier(Verifier):
                 RegionStatus.VIOLATED if region_violated else RegionStatus.CERTIFIED
             )
             margins.append(region_margin)
-        return VerificationReport(
-            verifier=self.name,
-            region_statuses=statuses,
-            region_margins=margins,
-            counterexamples=counterexamples,
-            points_checked=points_checked,
-            linear_regions_checked=linear_regions_checked,
-            seconds=time.perf_counter() - start,
+        return self._publish_report(
+            VerificationReport(
+                verifier=self.name,
+                region_statuses=statuses,
+                region_margins=margins,
+                counterexamples=counterexamples,
+                points_checked=points_checked,
+                linear_regions_checked=linear_regions_checked,
+                seconds=time.perf_counter() - start,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -291,15 +293,17 @@ class SyrennVerifier(Verifier):
                         activation_point=cache.interiors[cache.row_interior[row]].copy(),
                     )
                 )
-        return VerificationReport(
-            verifier=self.name,
-            region_statuses=statuses,
-            region_margins=margins,
-            counterexamples=counterexamples,
-            points_checked=int(cache.vertices.shape[0]),
-            linear_regions_checked=cache.total_linear_regions,
-            seconds=time.perf_counter() - start,
-            value_only=True,
+        return self._publish_report(
+            VerificationReport(
+                verifier=self.name,
+                region_statuses=statuses,
+                region_margins=margins,
+                counterexamples=counterexamples,
+                points_checked=int(cache.vertices.shape[0]),
+                linear_regions_checked=cache.total_linear_regions,
+                seconds=time.perf_counter() - start,
+                value_only=True,
+            )
         )
 
     # ------------------------------------------------------------------

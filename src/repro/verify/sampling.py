@@ -136,13 +136,15 @@ class _SamplingVerifier(Verifier):
                 )
                 for index in order
             )
-        return VerificationReport(
-            verifier=self.name,
-            region_statuses=statuses,
-            region_margins=margins,
-            counterexamples=counterexamples,
-            points_checked=points_checked,
-            seconds=time.perf_counter() - start,
+        return self._publish_report(
+            VerificationReport(
+                verifier=self.name,
+                region_statuses=statuses,
+                region_margins=margins,
+                counterexamples=counterexamples,
+                points_checked=points_checked,
+                seconds=time.perf_counter() - start,
+            )
         )
 
 

@@ -1,0 +1,126 @@
+"""The observability hard constraint: telemetry never touches numerics.
+
+Two pins, both run over the same CEGIS repair workload:
+
+1. **Byte identity.**  The repaired parameters are byte-for-byte identical
+   with telemetry enabled and disabled, at ``workers=1`` (inline tasks) and
+   ``workers=4`` (the spawn pool's capture/absorb path).  If any
+   instrumented call site ever influenced an LP tableau, a partition, or
+   iteration order, this matrix breaks.
+2. **Merge determinism.**  The counter content of the registry after a
+   ``workers=4`` run equals the ``workers=1`` run exactly — the per-task
+   capture deltas absorbed in task order reconstruct the serial counts —
+   modulo the explicitly worker-count-dependent ``repro_worker_*`` families.
+   (Histograms are excluded: their bucket placement depends on wall-clock.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.obs as obs
+from repro.driver import RepairDriver
+from repro.engine import ShardedSyrennEngine
+from repro.nn.activations import ReLULayer
+from repro.nn.linear import FullyConnectedLayer
+from repro.nn.network import Network
+from repro.obs import Trace, use_trace
+from repro.polytope.hpolytope import HPolytope
+from repro.utils.rng import ensure_rng
+from repro.verify import SyrennVerifier, VerificationSpec
+
+
+def build_workload() -> tuple[Network, VerificationSpec]:
+    """A small plane-spec repair that needs a couple of CEGIS rounds."""
+    rng = ensure_rng(5)
+    width = 6
+    network = Network(
+        [
+            FullyConnectedLayer.from_shape(2, width, rng),
+            ReLULayer(width),
+            FullyConnectedLayer.from_shape(width, width, rng),
+            ReLULayer(width),
+            FullyConnectedLayer.from_shape(width, 3, rng),
+        ]
+    )
+    preds = network.predict(rng.uniform(-1.0, 1.0, size=(400, 2)))
+    winner = int(np.bincount(preds, minlength=3).argmax())
+    spec = VerificationSpec()
+    constraint = HPolytope.argmax_region(3, winner, 1e-3)
+    # Four quadrant planes, so engine batches hold several tasks and a
+    # workers=4 run genuinely exercises the pooled capture/absorb path.
+    for x0, y0 in ((-1, -1), (0, -1), (-1, 0), (0, 0)):
+        spec.add_plane(
+            [[x0, y0], [x0 + 1, y0], [x0 + 1, y0 + 1], [x0, y0 + 1]], constraint
+        )
+    return network, spec
+
+
+def run_repair(workers: int, with_obs: bool) -> tuple[list[bytes], dict]:
+    """One full driver run; returns (repaired parameter bytes, obs snapshot)."""
+    network, spec = build_workload()
+    with obs.isolated(start_enabled=with_obs):
+        trace = Trace("differential") if with_obs else None
+        context = use_trace(trace) if trace is not None else _null_context()
+        with context:
+            with ShardedSyrennEngine(workers=workers, cache=False) as engine:
+                driver = RepairDriver(
+                    network, spec, SyrennVerifier(engine=engine), engine=engine,
+                    max_rounds=6,
+                )
+                outcome = driver.run()
+        snapshot = obs.snapshot()
+    assert outcome.status == "certified"
+    parameters = [
+        outcome.network.value.layers[index].get_parameters().tobytes()
+        for index in outcome.network.repairable_layer_indices()
+    ]
+    return parameters, snapshot
+
+
+def _null_context():
+    from contextlib import nullcontext
+
+    return nullcontext()
+
+
+def comparable_counters(snapshot: dict) -> dict:
+    """The worker-count-independent registry content.
+
+    Counter families only — histogram bucket placement is wall-clock — and
+    never the ``repro_worker_*`` namespace, which is worker-count-dependent
+    by contract (e.g. each worker process decodes the network payload once).
+    """
+    return {
+        name: entry
+        for name, entry in snapshot.items()
+        if entry["kind"] == "counter" and not name.startswith("repro_worker_")
+    }
+
+
+class TestTelemetryNeverTouchesNumerics:
+    def test_byte_identity_matrix(self):
+        """obs {on,off} × workers {1,4}: one set of repaired bytes."""
+        reference, _ = run_repair(workers=1, with_obs=False)
+        assert reference  # the workload actually repaired something
+        for workers in (1, 4):
+            for with_obs in (False, True):
+                if workers == 1 and not with_obs:
+                    continue
+                parameters, snapshot = run_repair(workers, with_obs)
+                assert parameters == reference, (
+                    f"repair bytes diverged at workers={workers} obs={with_obs}"
+                )
+                if with_obs:
+                    assert "repro_driver_rounds_total" in snapshot
+                else:
+                    assert snapshot == {}
+
+    def test_worker_merge_reconstructs_serial_counters(self):
+        """workers=4 counters ≡ workers=1 counters, modulo repro_worker_*."""
+        _, serial = run_repair(workers=1, with_obs=True)
+        _, pooled = run_repair(workers=4, with_obs=True)
+        assert comparable_counters(pooled) == comparable_counters(serial)
+        # The pooled run really did go through the capture/absorb path.
+        assert any(name.startswith("repro_worker_") for name in pooled)
+        assert "repro_engine_batches_total" in pooled

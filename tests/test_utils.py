@@ -142,6 +142,38 @@ class TestStopwatch:
         # other() is elapsed-minus-phases, so it can never exceed elapsed().
         assert unattributed <= watch.elapsed()
 
+    def test_phases_record_cpu_time(self):
+        watch = Stopwatch()
+        with watch.phase("spin"):
+            total = 0
+            for value in range(200_000):
+                total += value
+        with watch.phase("sleep"):
+            time.sleep(0.02)
+        cpu = watch.cpu_totals()
+        assert cpu["spin"] > 0.0
+        assert watch.cpu_total("spin") == cpu["spin"]
+        assert watch.cpu_total("missing") == 0.0
+        # Sleeping burns wall-clock but (almost) no CPU.
+        assert watch.total("sleep") >= 0.02
+        assert cpu["sleep"] < watch.total("sleep")
+
+    def test_add_cpu_seconds_channel(self):
+        watch = Stopwatch()
+        watch.add("x", 1.0, cpu_seconds=0.75)
+        watch.add("x", 1.0, cpu_seconds=0.25)
+        assert watch.cpu_total("x") == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            watch.add("x", 1.0, cpu_seconds=-0.5)
+
+    def test_wall_cpu_now_returns_monotonic_pair(self):
+        from repro.utils.timing import wall_cpu_now
+
+        wall_a, cpu_a = wall_cpu_now()
+        wall_b, cpu_b = wall_cpu_now()
+        assert wall_b >= wall_a
+        assert cpu_b >= cpu_a
+
 
 class TestTimeBudget:
     def test_unlimited_budget_never_exhausts(self):
