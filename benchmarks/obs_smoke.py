@@ -7,10 +7,16 @@ exercises the two telemetry surfaces end to end:
 * ``GET /metrics`` — asserts the key series exist: partition-cache hits,
   the per-backend LP solve-time histogram, and per-status job counters;
 * ``GET /jobs/<id>/trace`` — asserts the warm job's span tree is present
-  and rooted at the job, with verify/repair spans underneath.
+  and rooted at the job, with verify/repair spans underneath;
+* ``GET /healthz`` / ``GET /readyz`` / ``GET /slo`` — asserts the daemon
+  grades itself healthy and ready after serving real traffic, with every
+  SLO carrying a verdict and reason;
+* ``GET /jobs/<id>/profile`` — asserts the warm job's sampled folded-stack
+  profile exists and its stacks reach the daemon's job-execution frames.
 
-Both payloads are written to disk (``OBS_metrics.txt``,
-``OBS_trace.json``) so CI can archive them as artifacts.
+The payloads are written to disk (``OBS_metrics.txt``, ``OBS_trace.json``,
+``OBS_health.json``, ``OBS_profile.folded``) so CI can archive them as
+artifacts.
 
 Usage::
 
@@ -50,6 +56,10 @@ def main() -> None:
                         help="where to write the scraped Prometheus exposition")
     parser.add_argument("--trace-out", type=Path, default=Path("OBS_trace.json"),
                         help="where to write the warm job's span tree")
+    parser.add_argument("--health-out", type=Path, default=Path("OBS_health.json"),
+                        help="where to write the healthz/readyz/slo documents")
+    parser.add_argument("--profile-out", type=Path, default=Path("OBS_profile.folded"),
+                        help="where to write the warm job's folded-stack profile")
     args = parser.parse_args()
 
     with TemporaryDirectory() as state_dir:
@@ -59,10 +69,14 @@ def main() -> None:
         host, port = server.server_address[:2]
         client = ServiceClient(f"http://{host}:{port}")
         try:
+            ready = client.readyz()
             cold_id = run_job(client, build_job(0, args.width))
             warm_id = run_job(client, build_job(0, args.width))  # same fingerprint
             metrics = client.metrics()
             trace = client.trace(warm_id)
+            healthz = client.healthz()
+            slo = client.slo()
+            profile = client.profile(warm_id)
         finally:
             server.shutdown()
             server.server_close()
@@ -71,6 +85,10 @@ def main() -> None:
 
     args.metrics_out.write_text(metrics)
     args.trace_out.write_text(json.dumps(trace, indent=2) + "\n")
+    args.health_out.write_text(
+        json.dumps({"readyz": ready, "healthz": healthz, "slo": slo}, indent=2) + "\n"
+    )
+    args.profile_out.write_text(profile["folded"] + "\n")
 
     # --- the assertions CI actually cares about -------------------------
     required_series = [
@@ -91,9 +109,25 @@ def main() -> None:
     if "driver.verify" not in names or "driver.run" not in names:
         raise AssertionError(f"trace lacks driver spans: {names}")
 
+    if not ready["ready"] or not all(ready["checks"].values()):
+        raise AssertionError(f"daemon not ready: {ready}")
+    if healthz["status"] not in ("healthy", "degraded"):
+        raise AssertionError(f"daemon unhealthy after a clean job pair: {healthz}")
+    slo_names = {entry["name"] for entry in slo["slos"]}
+    if "job_p99_seconds" not in slo_names or "job_failure_ratio" not in slo_names:
+        raise AssertionError(f"/slo is missing stock objectives: {sorted(slo_names)}")
+    if any(entry["status"] == "unhealthy" for entry in slo["slos"]):
+        raise AssertionError(f"an SLO grades unhealthy after clean traffic: {slo}")
+    if profile["samples"] < 1 or not profile["folded"]:
+        raise AssertionError(f"profile empty for {warm_id}: {profile['samples']} samples")
+    if "_execute" not in profile["folded"]:
+        raise AssertionError("profile stacks never reached the job-execution frames")
+
     print(f"cold={cold_id} warm={warm_id}")
     print(f"wrote {args.metrics_out} ({len(metrics.splitlines())} lines)")
     print(f"wrote {args.trace_out} ({len(names)} spans)")
+    print(f"wrote {args.health_out} (status={healthz['status']}, ready={ready['ready']})")
+    print(f"wrote {args.profile_out} ({profile['samples']} samples)")
     print("obs smoke OK")
 
 

@@ -1,0 +1,225 @@
+"""Declarative SLOs: window-scoped metric queries graded into verdicts.
+
+An :class:`SloSpec` names one question about the telemetry window — "what is
+the p99 of ``repro_service_job_seconds`` over the last 300s?", "what share
+of job transitions were ``failed``?" — plus the thresholds that grade its
+answer.  :func:`evaluate` runs a list of specs against a
+:class:`~repro.obs.window.WindowStore` and produces a JSON-ready document
+with per-SLO verdicts (``healthy`` / ``degraded`` / ``unhealthy``, each with
+a human-readable reason) and the worst verdict overall — exactly what
+``GET /healthz`` and ``GET /slo`` serve and what a load balancer or pager
+acts on.
+
+Specs are plain data: :meth:`SloSpec.as_dict` / :meth:`SloSpec.from_dict`
+round-trip losslessly through JSON, so a deployment can ship its SLOs in a
+config file instead of code.  Supported aggregations:
+
+============  ====================================================
+``rate``      counter increments per second over the window
+``total``     counter increments over the window (a plain sum)
+``ratio``     share of a counter family matching ``numerator``
+``mean``      mean histogram observation over the window
+``p50/p95/p99`` (any ``pNN``) bucket-interpolated histogram quantile
+============  ====================================================
+
+A spec with no data in its window (no traffic, empty store) is *vacuously
+healthy* — a daemon that has served nothing is not degraded, it is idle —
+and says so in its reason.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.obs.window import WindowStore
+
+__all__ = ["HEALTHY", "DEGRADED", "UNHEALTHY", "SloSpec", "evaluate"]
+
+HEALTHY, DEGRADED, UNHEALTHY = "healthy", "degraded", "unhealthy"
+
+#: Verdict severity order (index = badness).
+_SEVERITY = (HEALTHY, DEGRADED, UNHEALTHY)
+
+_QUANTILE_PATTERN = re.compile(r"p(\d{1,2})\Z")
+_SCALAR_AGGS = ("rate", "total", "ratio", "mean")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective over a windowed metric aggregate.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier for dashboards and reasons (``"job_p99"``).
+    series:
+        The metric family the aggregate reads.
+    agg:
+        One of ``rate``, ``total``, ``ratio``, ``mean``, or ``pNN``.
+    degraded:
+        Crossing this threshold grades the SLO ``degraded``.
+    unhealthy:
+        Crossing this (worse) threshold grades it ``unhealthy``; omit to
+        make the SLO two-state (healthy/degraded only).
+    op:
+        ``"<="`` (default) means *smaller is good*: the measured value must
+        stay at or below the thresholds.  ``">="`` means *larger is good*
+        (e.g. a cache hit ratio that should not collapse).
+    window:
+        Lookback in seconds (``None`` = the store's whole retained window).
+    labels:
+        Label subset the aggregated series must match.
+    numerator:
+        For ``ratio`` only: the label subset counted in the numerator
+        (``labels`` selects the denominator).
+    """
+
+    name: str
+    series: str
+    agg: str
+    degraded: float
+    unhealthy: float | None = None
+    op: str = "<="
+    window: float | None = 300.0
+    labels: dict = field(default_factory=dict)
+    numerator: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<=", ">="):
+            raise ValueError(f"SLO op must be '<=' or '>=', got {self.op!r}")
+        if self.agg not in _SCALAR_AGGS and not _QUANTILE_PATTERN.match(self.agg):
+            raise ValueError(f"unknown SLO aggregation {self.agg!r}")
+        if self.agg == "ratio" and not self.numerator:
+            raise ValueError("ratio SLOs need a numerator label subset")
+        if self.unhealthy is not None:
+            ordered = (
+                self.degraded <= self.unhealthy
+                if self.op == "<="
+                else self.degraded >= self.unhealthy
+            )
+            if not ordered:
+                raise ValueError(
+                    f"SLO {self.name!r}: unhealthy threshold must be beyond "
+                    f"the degraded one for op {self.op!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """The spec as a JSON-ready dictionary (lossless round trip)."""
+        document = {
+            "name": self.name,
+            "series": self.series,
+            "agg": self.agg,
+            "degraded": self.degraded,
+            "op": self.op,
+            "window": self.window,
+        }
+        if self.unhealthy is not None:
+            document["unhealthy"] = self.unhealthy
+        if self.labels:
+            document["labels"] = dict(self.labels)
+        if self.numerator:
+            document["numerator"] = dict(self.numerator)
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "SloSpec":
+        """Rebuild a spec from :meth:`as_dict` output (or a config file)."""
+        known = {
+            "name", "series", "agg", "degraded", "unhealthy", "op",
+            "window", "labels", "numerator",
+        }
+        unknown = set(document) - known
+        if unknown:
+            raise ValueError(f"unknown SLO spec fields: {sorted(unknown)}")
+        return cls(
+            name=document["name"],
+            series=document["series"],
+            agg=document["agg"],
+            degraded=float(document["degraded"]),
+            unhealthy=(
+                float(document["unhealthy"]) if document.get("unhealthy") is not None else None
+            ),
+            op=document.get("op", "<="),
+            window=document.get("window", 300.0),
+            labels=dict(document.get("labels", {})),
+            numerator=dict(document.get("numerator", {})),
+        )
+
+    # ------------------------------------------------------------------
+    def measure(self, store: WindowStore) -> float | None:
+        """The spec's aggregate over the store (``None`` = no data)."""
+        if self.agg == "rate":
+            return store.rate(self.series, self.labels or None, self.window)
+        if self.agg == "total":
+            if not store.deltas(self.window):
+                return None
+            return store.counter_sum(self.series, self.labels or None, self.window)
+        if self.agg == "ratio":
+            return store.ratio(
+                self.series, self.numerator, self.labels or None, self.window
+            )
+        if self.agg == "mean":
+            return store.mean(self.series, self.labels or None, self.window)
+        match = _QUANTILE_PATTERN.match(self.agg)
+        quantile = int(match.group(1)) / 100.0
+        return store.quantile(self.series, quantile, self.labels or None, self.window)
+
+    def grade(self, value: float | None) -> tuple[str, str]:
+        """(status, human-readable reason) for a measured value."""
+        if value is None:
+            return HEALTHY, f"{self.name}: no data in window (vacuously healthy)"
+        breached_unhealthy = self.unhealthy is not None and not self._within(
+            value, self.unhealthy
+        )
+        if breached_unhealthy:
+            return UNHEALTHY, (
+                f"{self.name}: {self.agg}({self.series}) = {value:.6g} "
+                f"violates {self.op} {self.unhealthy:.6g}"
+            )
+        if not self._within(value, self.degraded):
+            return DEGRADED, (
+                f"{self.name}: {self.agg}({self.series}) = {value:.6g} "
+                f"violates {self.op} {self.degraded:.6g}"
+            )
+        return HEALTHY, (
+            f"{self.name}: {self.agg}({self.series}) = {value:.6g} "
+            f"within {self.op} {self.degraded:.6g}"
+        )
+
+    def _within(self, value: float, threshold: float) -> bool:
+        return value <= threshold if self.op == "<=" else value >= threshold
+
+
+def evaluate(specs: list[SloSpec], store: WindowStore) -> dict:
+    """Grade every spec against the store; JSON-ready verdict document.
+
+    The overall ``status`` is the worst individual verdict, and ``reasons``
+    collects the non-healthy explanations so the top of the document reads
+    like a pager line.
+    """
+    results = []
+    worst = 0
+    reasons: list[str] = []
+    for spec in specs:
+        value = spec.measure(store)
+        status, reason = spec.grade(value)
+        worst = max(worst, _SEVERITY.index(status))
+        if status != HEALTHY:
+            reasons.append(reason)
+        results.append(
+            {
+                "name": spec.name,
+                "status": status,
+                "value": value,
+                "reason": reason,
+                "spec": spec.as_dict(),
+            }
+        )
+    return {
+        "status": _SEVERITY[worst],
+        "reasons": reasons,
+        "window_seconds": store.span_seconds(),
+        "slos": results,
+    }

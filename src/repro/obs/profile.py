@@ -1,0 +1,170 @@
+"""A thread-based sampling profiler with folded-stack output.
+
+Spans (:mod:`repro.obs.trace`) say *that* ``driver.verify`` took 1.8s; they
+cannot say *where inside it* the time went without instrumenting every
+function.  :class:`SamplingProfiler` fills that gap the observational way: a
+background thread wakes every ``interval`` seconds, reads the target
+threads' current frames out of :func:`sys._current_frames`, and folds each
+stack into ``root;caller;...;leaf`` counts — the exact text format
+flamegraph tooling (``flamegraph.pl``, speedscope, inferno) consumes.
+
+Like everything in :mod:`repro.obs`, the profiler is observational only: it
+reads interpreter frame objects and touches no numeric state, so running it
+cannot change a repair's bytes (pinned alongside the obs-on/off matrix in
+``tests/test_obs_differential.py``).  The daemon starts one per job when
+telemetry is enabled and serves the result at ``GET /jobs/<id>/profile``.
+
+One forced sample of the target thread is taken synchronously at
+:meth:`start` — so even a job that finishes inside one sampling interval
+produces a non-empty profile — and sampling overhead is bounded by the
+interval: the default 5ms costs well under 1% of one core.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+__all__ = ["SamplingProfiler"]
+
+
+def _fold_frame(frame) -> str:
+    """``module:function:line`` for one frame, stable across runs.
+
+    The *definition* line (``f_code.co_firstlineno``), not the currently
+    executing line, keeps a function's samples aggregated under one name.
+    """
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{code.co_name}:{code.co_firstlineno}"
+
+
+def _fold_stack(frame, max_depth: int) -> str:
+    """The frame's whole stack folded root-first, semicolon-separated."""
+    parts: list[str] = []
+    while frame is not None and len(parts) < max_depth:
+        parts.append(_fold_frame(frame))
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Sample one (or every) thread's stack into folded-stack counts.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default 5ms).
+    thread_ids:
+        The thread idents to sample; ``None`` samples every thread except
+        the profiler's own.  The daemon passes the job thread's ident.
+    max_depth:
+        Stack-depth cap per sample, so a pathological recursion cannot
+        balloon one folded line without bound.
+
+    Use as a context manager or with explicit :meth:`start` / :meth:`stop`.
+    ``stop`` is idempotent and joins the sampler thread, after which
+    :meth:`folded` and :meth:`as_dict` are stable.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        thread_ids: tuple[int, ...] | None = None,
+        max_depth: int = 128,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = float(interval)
+        self.thread_ids = tuple(thread_ids) if thread_ids is not None else None
+        self.max_depth = int(max_depth)
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling (no-op if already running)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        # One synchronous sample before the thread exists: the caller's own
+        # stack (or the targets') is captured even if the profiled work
+        # finishes before the first interval elapses.
+        self._sample(exclude_ident=None)
+        self._thread = threading.Thread(
+            target=self._run, name="obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling and join the sampler thread."""
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join(timeout=10.0)
+        self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self._sample(exclude_ident=own_ident)
+
+    def _sample(self, exclude_ident: int | None) -> None:
+        frames = sys._current_frames()
+        with self._lock:
+            self._samples += 1
+            for ident, frame in frames.items():
+                if self.thread_ids is not None:
+                    if ident not in self.thread_ids:
+                        continue
+                elif ident == exclude_ident:
+                    continue
+                stack = _fold_stack(frame, self.max_depth)
+                if stack:
+                    self._counts[stack] = self._counts.get(stack, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_count(self) -> int:
+        """How many sampling ticks have run (including the start sample)."""
+        with self._lock:
+            return self._samples
+
+    def folded(self) -> str:
+        """Folded-stack text: one ``stack count`` line, sorted by stack.
+
+        Feed directly to flamegraph tooling::
+
+            flamegraph.pl profile.folded > profile.svg
+        """
+        with self._lock:
+            return "\n".join(
+                f"{stack} {count}" for stack, count in sorted(self._counts.items())
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-ready document: metadata plus the folded stacks."""
+        with self._lock:
+            return {
+                "interval_seconds": self.interval,
+                "samples": self._samples,
+                "stacks": dict(sorted(self._counts.items())),
+                "folded": "\n".join(
+                    f"{stack} {count}" for stack, count in sorted(self._counts.items())
+                ),
+            }

@@ -31,6 +31,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "GAUGE",
     "HISTOGRAM",
+    "JOB_SECONDS_BUCKETS",
     "MetricFamily",
     "MetricsRegistry",
 ]
@@ -42,6 +43,15 @@ COUNTER, GAUGE, HISTOGRAM = "counter", "gauge", "histogram"
 DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 120.0,
+)
+
+#: Coarser boundaries for whole-job durations: a repair job's run time lives
+#: in the tens-of-milliseconds-to-minutes range, where the sub-ms resolution
+#: of :data:`DEFAULT_BUCKETS` wastes half its buckets and tops out too early
+#: to separate "slow" from "stuck".
+JOB_SECONDS_BUCKETS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0, 600.0, 1800.0,
 )
 
 _NAME_PATTERN = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
@@ -221,6 +231,13 @@ class MetricsRegistry:
             raise ValueError(
                 f"metric {name!r} is already registered with labels "
                 f"{list(family.label_names)}"
+            )
+        if buckets is not None and family.buckets != tuple(buckets):
+            # Two call sites silently disagreeing on boundaries would merge
+            # incompatible bucket vectors; make the disagreement loud.
+            raise ValueError(
+                f"histogram {name!r} is already registered with buckets "
+                f"{list(family.buckets)}"
             )
         return family
 

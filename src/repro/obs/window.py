@@ -1,0 +1,359 @@
+"""Rolling time-window aggregation over registry snapshots.
+
+The registry (:mod:`repro.obs.registry`) only ever accumulates: counters and
+histogram buckets grow monotonically for the life of the process.  That is
+the right shape for a Prometheus scrape, but operational questions are about
+*recent* behaviour — jobs/sec over the last minute, the p99 job latency over
+the last five.  This module turns cumulative snapshots into windows:
+
+* :func:`snapshot_delta` — the per-series difference of two snapshots, with
+  counter-reset detection (a series that went *backwards* means the source
+  restarted; the current value is then the whole delta, never a negative);
+* :class:`WindowStore` — a bounded deque of timestamped deltas built from
+  successive :meth:`~repro.obs.registry.MetricsRegistry.snapshot` documents,
+  with window-scoped ``rate`` / ``ratio`` / ``quantile`` / ``mean`` queries;
+* :func:`histogram_quantile` — Prometheus-style quantile estimation by
+  linear interpolation inside the fixed histogram buckets, shared by the
+  window store, the SLO evaluator (:mod:`repro.obs.health`), and the
+  benchmark harness (which previously ran ``np.percentile`` over a handful
+  of samples and fabricated a p99 out of thin air).
+
+Everything here is a pure function of the snapshots and the timestamps the
+caller provides — :meth:`WindowStore.observe` takes ``at`` explicitly (a
+monotonic reading), so tests drive the store with synthetic clocks and get
+bit-reproducible aggregates.  Two stores observing disjoint shards of the
+same system can be combined with :meth:`WindowStore.merge`; deltas are
+interleaved by end-timestamp, which keeps the merge associative.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.registry import COUNTER, GAUGE, HISTOGRAM
+
+__all__ = [
+    "WindowDelta",
+    "WindowStore",
+    "histogram_quantile",
+    "quantiles_with_count",
+    "snapshot_delta",
+]
+
+
+def _series_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _index_series(entry: dict) -> dict[tuple, dict]:
+    return {_series_key(series["labels"]): series for series in entry["series"]}
+
+
+def snapshot_delta(previous: dict, current: dict) -> dict:
+    """``current - previous``, per family and series, reset-safe.
+
+    Counters subtract; histogram buckets/sum/count subtract element-wise;
+    gauges take the current value (a gauge has no meaningful delta).  Any
+    series whose counter value, histogram count, or bucket went *down*
+    is treated as reset: its delta is the current (post-restart) value in
+    full, so windows never see negative rates after a daemon bounce.
+    Families or series absent from ``previous`` contribute their full
+    current value.  The result has the same document shape as a snapshot.
+    """
+    delta: dict = {}
+    for name in sorted(current):
+        entry = current[name]
+        kind = entry["kind"]
+        out_entry = {
+            "kind": kind,
+            "help": entry.get("help", ""),
+            "labels": list(entry.get("labels", ())),
+            "series": [],
+        }
+        if "bounds" in entry:
+            out_entry["bounds"] = list(entry["bounds"])
+        previous_series = (
+            _index_series(previous[name]) if name in previous else {}
+        )
+        for series in entry["series"]:
+            before = previous_series.get(_series_key(series["labels"]))
+            if kind == GAUGE:
+                out_entry["series"].append(dict(series))
+                continue
+            if kind == COUNTER:
+                value = float(series["value"])
+                if before is not None and float(before["value"]) <= value:
+                    value -= float(before["value"])
+                out_entry["series"].append({"labels": dict(series["labels"]), "value": value})
+                continue
+            buckets = [int(count) for count in series["buckets"]]
+            total = int(series["count"])
+            sum_value = float(series["sum"])
+            if before is not None:
+                before_buckets = [int(count) for count in before["buckets"]]
+                reset = (
+                    int(before["count"]) > total
+                    or len(before_buckets) != len(buckets)
+                    or any(b > c for b, c in zip(before_buckets, buckets))
+                )
+                if not reset:
+                    buckets = [c - b for b, c in zip(before_buckets, buckets)]
+                    total -= int(before["count"])
+                    sum_value -= float(before["sum"])
+            out_entry["series"].append(
+                {
+                    "labels": dict(series["labels"]),
+                    "buckets": buckets,
+                    "sum": sum_value,
+                    "count": total,
+                }
+            )
+        delta[name] = out_entry
+    return delta
+
+
+def histogram_quantile(
+    bounds: list[float] | tuple[float, ...],
+    bucket_counts: list[int] | tuple[int, ...],
+    quantile: float,
+) -> float | None:
+    """Estimate a quantile from fixed-bucket histogram state.
+
+    ``bucket_counts`` is non-cumulative with the overflow (+Inf) bucket
+    last, matching :class:`~repro.obs.registry.MetricFamily` series.  Uses
+    Prometheus-style linear interpolation inside the target bucket (the
+    lower edge of the first bucket is 0 — every recorded series here is a
+    non-negative duration).  An estimate that lands in the overflow bucket
+    clamps to the top finite boundary; ``None`` when the histogram is empty.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return None
+    rank = quantile * total
+    cumulative = 0
+    for index, count in enumerate(bucket_counts):
+        cumulative += count
+        if cumulative >= rank and count:
+            if index >= len(bounds):  # overflow bucket: no finite upper edge
+                return float(bounds[-1]) if bounds else None
+            lower = float(bounds[index - 1]) if index else 0.0
+            upper = float(bounds[index])
+            position = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * position
+    return float(bounds[-1]) if bounds else None
+
+
+def quantiles_with_count(
+    values,
+    quantiles: tuple[float, ...],
+    bounds: tuple[float, ...],
+) -> dict:
+    """Histogram-based quantiles of raw ``values`` plus the honest ``n``.
+
+    The shared helper behind benchmark latency reporting: instead of
+    ``np.percentile`` over a handful of samples (which interpolates a "p99"
+    that no request ever experienced), the values are binned into the same
+    fixed buckets the live histograms use and quantiles are estimated the
+    same way the window store estimates them — and the sample count rides
+    along so every consumer can judge how much the estimate is worth.
+    """
+    counts = [0] * (len(bounds) + 1)
+    n = 0
+    for value in values:
+        value = float(value)
+        index = len(bounds)
+        for position, boundary in enumerate(bounds):
+            if value <= boundary:
+                index = position
+                break
+        counts[index] += 1
+        n += 1
+    result: dict = {"n": n}
+    for quantile in quantiles:
+        key = f"p{int(round(quantile * 100)):02d}"
+        result[key] = histogram_quantile(bounds, counts, quantile)
+    return result
+
+
+@dataclass(frozen=True)
+class WindowDelta:
+    """One inter-snapshot delta: ``[start, end]`` timestamps plus the diff."""
+
+    start: float
+    end: float
+    delta: dict
+
+
+class WindowStore:
+    """A bounded rolling window of snapshot deltas with aggregate queries.
+
+    Feed it successive registry snapshots (``store.observe(obs.snapshot(),
+    at=time.monotonic())``); it keeps the most recent ``max_deltas``
+    inter-snapshot deltas and answers window-scoped questions::
+
+        store.rate("repro_service_jobs_total", {"status": "done"})   # per second
+        store.ratio("repro_cache_requests_total", {"result": "hit"}) # hit share
+        store.quantile("repro_service_job_seconds", 0.99)            # seconds
+
+    Queries take an optional ``window`` in seconds (measured back from the
+    newest delta's end); default is the whole retained window.  Label
+    filters match a *subset* of a series' labels, so ``{"status": "done"}``
+    sums over every ``kind``.  Not thread-safe by itself — the daemon calls
+    it under its own lock.
+    """
+
+    def __init__(self, max_deltas: int = 128) -> None:
+        if max_deltas < 1:
+            raise ValueError("max_deltas must be >= 1")
+        self.max_deltas = int(max_deltas)
+        self._deltas: deque[WindowDelta] = deque(maxlen=self.max_deltas)
+        self._last_snapshot: dict | None = None
+        self._last_at: float | None = None
+
+    # ------------------------------------------------------------------
+    def observe(self, snapshot: dict, at: float) -> None:
+        """Record one snapshot taken at monotonic time ``at``.
+
+        The first observation only anchors the baseline; every later one
+        appends the delta against its predecessor.  A non-increasing ``at``
+        (clock confusion, merged stores) re-anchors instead of producing a
+        zero-or-negative-width delta.
+        """
+        if self._last_snapshot is not None and self._last_at is not None and at > self._last_at:
+            self._deltas.append(
+                WindowDelta(self._last_at, at, snapshot_delta(self._last_snapshot, snapshot))
+            )
+        self._last_snapshot = snapshot
+        self._last_at = at
+
+    def merge(self, other: "WindowStore") -> "WindowStore":
+        """A new store holding both stores' deltas, interleaved by end time.
+
+        The merged store keeps the larger ``max_deltas`` of the two and is
+        query-only in spirit: its baseline snapshot is unset, so the next
+        :meth:`observe` re-anchors rather than differencing across sources.
+        """
+        merged = WindowStore(max(self.max_deltas, other.max_deltas))
+        for delta in sorted(
+            [*self._deltas, *other._deltas], key=lambda d: (d.end, d.start)
+        ):
+            merged._deltas.append(delta)
+        return merged
+
+    # ------------------------------------------------------------------
+    def _select(self, window: float | None) -> list[WindowDelta]:
+        if not self._deltas:
+            return []
+        if window is None:
+            return list(self._deltas)
+        horizon = self._deltas[-1].end - float(window)
+        return [delta for delta in self._deltas if delta.end > horizon]
+
+    def span_seconds(self, window: float | None = None) -> float:
+        """Total seconds covered by the selected deltas."""
+        return sum(delta.end - delta.start for delta in self._select(window))
+
+    def deltas(self, window: float | None = None) -> list[WindowDelta]:
+        """The retained deltas (newest last), optionally window-limited."""
+        return self._select(window)
+
+    # ------------------------------------------------------------------
+    def counter_sum(
+        self, name: str, labels: dict | None = None, window: float | None = None
+    ) -> float:
+        """Sum of counter increments for series matching the label subset."""
+        total = 0.0
+        want = set((labels or {}).items())
+        for delta in self._select(window):
+            entry = delta.delta.get(name)
+            if entry is None or entry["kind"] != COUNTER:
+                continue
+            for series in entry["series"]:
+                if want <= set(series["labels"].items()):
+                    total += float(series["value"])
+        return total
+
+    def rate(
+        self, name: str, labels: dict | None = None, window: float | None = None
+    ) -> float | None:
+        """Increments per second over the window (``None`` with no window)."""
+        seconds = self.span_seconds(window)
+        if seconds <= 0.0:
+            return None
+        return self.counter_sum(name, labels, window) / seconds
+
+    def ratio(
+        self,
+        name: str,
+        numerator: dict,
+        denominator: dict | None = None,
+        window: float | None = None,
+    ) -> float | None:
+        """Share of a counter family's increments matching ``numerator``.
+
+        ``denominator`` defaults to the whole family; ``None`` when the
+        denominator saw no increments in the window (no traffic — callers
+        decide whether that is vacuously healthy).
+        """
+        total = self.counter_sum(name, denominator, window)
+        if total <= 0.0:
+            return None
+        return self.counter_sum(name, numerator, window) / total
+
+    def _histogram_state(
+        self, name: str, labels: dict | None, window: float | None
+    ) -> tuple[list[float], list[int], float, int] | None:
+        bounds: list[float] | None = None
+        counts: list[int] | None = None
+        sum_value = 0.0
+        total = 0
+        want = set((labels or {}).items())
+        for delta in self._select(window):
+            entry = delta.delta.get(name)
+            if entry is None or entry["kind"] != HISTOGRAM:
+                continue
+            if bounds is None:
+                bounds = [float(b) for b in entry["bounds"]]
+                counts = [0] * (len(bounds) + 1)
+            for series in entry["series"]:
+                if want <= set(series["labels"].items()):
+                    for index, count in enumerate(series["buckets"]):
+                        counts[index] += int(count)
+                    sum_value += float(series["sum"])
+                    total += int(series["count"])
+        if bounds is None or counts is None:
+            return None
+        return bounds, counts, sum_value, total
+
+    def quantile(
+        self,
+        name: str,
+        quantile: float,
+        labels: dict | None = None,
+        window: float | None = None,
+    ) -> float | None:
+        """A bucket-interpolated quantile of a histogram family's window."""
+        state = self._histogram_state(name, labels, window)
+        if state is None:
+            return None
+        bounds, counts, _, _ = state
+        return histogram_quantile(bounds, counts, quantile)
+
+    def mean(
+        self, name: str, labels: dict | None = None, window: float | None = None
+    ) -> float | None:
+        """Mean observation of a histogram family over the window."""
+        state = self._histogram_state(name, labels, window)
+        if state is None or state[3] == 0:
+            return None
+        return state[2] / state[3]
+
+    def observation_count(
+        self, name: str, labels: dict | None = None, window: float | None = None
+    ) -> int:
+        """How many observations the window's histogram state holds."""
+        state = self._histogram_state(name, labels, window)
+        return 0 if state is None else state[3]

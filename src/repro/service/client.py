@@ -19,6 +19,7 @@ import time
 import urllib.error
 import urllib.request
 
+import repro.obs as obs
 from repro.exceptions import ReproError
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -40,7 +41,7 @@ class ServiceClient:
         self.timeout = timeout
 
     # ------------------------------------------------------------------
-    def _request(self, path: str, body: dict | None = None) -> dict:
+    def _request(self, path: str, body: dict | None = None, *, body_on: tuple[int, ...] = ()) -> dict:
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=None if body is None else json.dumps(body).encode("utf-8"),
@@ -51,8 +52,16 @@ class ServiceClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
+            payload = error.read()
+            if error.code in body_on:
+                # Routes like /healthz answer 503 *with* their verdict
+                # document; for these the body is the point.
+                try:
+                    return json.loads(payload.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    pass
             try:
-                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+                detail = json.loads(payload.decode("utf-8")).get("error", "")
             except (ValueError, UnicodeDecodeError):
                 detail = ""
             raise ServiceError(
@@ -101,17 +110,52 @@ class ServiceClient:
         """The daemon's liveness/statistics document."""
         return self._request("/health")
 
+    def healthz(self) -> dict:
+        """The SLO-graded health verdict (parsed even when it is a 503)."""
+        return self._request("/healthz", body_on=(503,))
+
+    def readyz(self) -> dict:
+        """The readiness document (parsed even when it is a 503)."""
+        return self._request("/readyz", body_on=(503,))
+
+    def slo(self) -> dict:
+        """The full SLO evaluation document."""
+        return self._request("/slo")
+
+    def profile(self, job_id: str) -> dict:
+        """The job's sampled folded-stack profile (HTTP 409 until it starts)."""
+        return self._request(f"/jobs/{job_id}/profile")
+
     def wait(
-        self, job_id: str, *, timeout: float | None = None, poll_interval: float = 0.2
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll_interval: float = 0.05,
+        max_poll_interval: float = 2.0,
     ) -> dict:
         """Poll until the job finishes; returns its result document.
+
+        The poll schedule is capped exponential backoff — ``poll_interval``,
+        doubling each attempt up to ``max_poll_interval`` — deterministic
+        (no jitter), so N clients against one daemon produce a bounded,
+        reproducible request pattern instead of a fixed-frequency hammer.
+        Every poll increments the ``repro_client_polls_total`` counter when
+        telemetry is enabled.
 
         Connection errors during the poll are retried until ``timeout`` —
         a daemon restarting mid-job (crash recovery) looks like a brief
         connection gap to a patient client.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        interval = max(1e-4, float(poll_interval))
+        cap = max(interval, float(max_poll_interval))
         while True:
+            if obs.enabled():
+                obs.counter(
+                    "repro_client_polls_total",
+                    "Status polls issued by ServiceClient.wait.",
+                ).inc()
             try:
                 status = self.status(job_id)["status"]
                 if status in ("done", "failed"):
@@ -121,4 +165,5 @@ class ServiceClient:
                     raise  # 404 etc.: the job is genuinely unknown
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(f"job {job_id} unfinished after {timeout}s")
-            time.sleep(poll_interval)
+            time.sleep(interval)
+            interval = min(interval * 2.0, cap)

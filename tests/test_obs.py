@@ -49,6 +49,17 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError, match="already registered with labels"):
             registry.counter("jobs_total", labels=("kind",))
 
+    def test_histogram_bucket_boundary_conflicts_raise(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        assert registry.histogram("h_seconds", buckets=(0.1, 1.0)) is family
+        # Two call sites silently disagreeing on boundaries would merge
+        # incompatible bucket vectors; the registry refuses loudly instead.
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            registry.histogram("h_seconds", buckets=(0.5, 1.0))
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            registry.histogram("h_seconds")  # implied DEFAULT_BUCKETS differ too
+
     def test_invalid_metric_and_label_names_raise(self):
         registry = MetricsRegistry()
         with pytest.raises(ValueError, match="invalid metric name"):

@@ -1,0 +1,414 @@
+"""Unit and property tests for the windowed-observability layer.
+
+Three modules under test:
+
+* :mod:`repro.obs.window` — snapshot deltas (reset-safe), the shared
+  fixed-bucket quantile estimator, and :class:`WindowStore` aggregates.
+  The hypothesis suites pin the two algebraic claims the docstrings make:
+  ``merge_snapshot`` is associative and commutative for counters and
+  histograms, and a window's counter total equals the increments it
+  observed regardless of where a source reset lands.
+* :mod:`repro.obs.health` — :class:`SloSpec` validation/round-trip and the
+  healthy/degraded/unhealthy grading, including vacuous health on no data.
+* :mod:`repro.obs.profile` — :class:`SamplingProfiler` output format and
+  the forced start-sample guarantee.
+
+Everything here drives :class:`WindowStore` with explicit synthetic
+timestamps — no clock reads — so every aggregate is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEGRADED,
+    HEALTHY,
+    UNHEALTHY,
+    MetricsRegistry,
+    SamplingProfiler,
+    SloSpec,
+    WindowStore,
+    evaluate,
+    histogram_quantile,
+    quantiles_with_count,
+    snapshot_delta,
+)
+
+# Histogram observations are quarter-integers (dyadic rationals): their
+# sums are exact in binary floating point, so the associativity and
+# commutativity assertions below compare for strict equality instead of
+# hiding behind a tolerance.
+BOUNDS = (0.5, 2.0, 8.0)
+
+
+@st.composite
+def registry_snapshots(draw):
+    """A snapshot of a small registry with one counter and one histogram."""
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "Counts.", labels=("kind",))
+    hist = registry.histogram("h_seconds", "Seconds.", labels=("kind",), buckets=BOUNDS)
+    pair = st.tuples(st.sampled_from(("a", "b")), st.integers(0, 64))
+    for kind, amount in draw(st.lists(pair, max_size=8)):
+        counter.inc(float(amount), kind=kind)
+    for kind, quarters in draw(st.lists(pair, max_size=8)):
+        hist.observe(quarters / 4.0, kind=kind)
+    return registry.snapshot()
+
+
+def counter_snapshot(value: float, name: str = "c_total") -> dict:
+    return {
+        name: {
+            "kind": "counter",
+            "help": "",
+            "labels": ["kind"],
+            "series": [{"labels": {"kind": "a"}, "value": float(value)}],
+        }
+    }
+
+
+class TestMergeSnapshotProperties:
+    @given(registry_snapshots(), registry_snapshots())
+    def test_merge_is_commutative(self, a, b):
+        """A+B == B+A for counters and histograms (gauges are last-write)."""
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge_snapshot(a)
+        ab.merge_snapshot(b)
+        ba.merge_snapshot(b)
+        ba.merge_snapshot(a)
+        assert ab.snapshot() == ba.snapshot()
+
+    @given(registry_snapshots(), registry_snapshots(), registry_snapshots())
+    def test_merge_is_associative(self, a, b, c):
+        """(A+B)+C == A+(B+C): worker deltas can merge in any grouping."""
+        left = MetricsRegistry()
+        for part in (a, b, c):
+            left.merge_snapshot(part)
+        inner = MetricsRegistry()
+        inner.merge_snapshot(b)
+        inner.merge_snapshot(c)
+        right = MetricsRegistry()
+        right.merge_snapshot(a)
+        right.merge_snapshot(inner.snapshot())
+        assert left.snapshot() == right.snapshot()
+
+
+class TestWindowStoreProperties:
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=20))
+    def test_counter_total_without_resets(self, increments):
+        """A monotone cumulative series windows to its post-anchor increments."""
+        store = WindowStore()
+        cumulative = 0
+        for index, increment in enumerate(increments):
+            cumulative += increment
+            store.observe(counter_snapshot(cumulative), at=float(index))
+        assert store.counter_sum("c_total") == float(sum(increments[1:]))
+
+    @given(st.lists(st.integers(0, 50), min_size=3, max_size=20), st.data())
+    def test_counter_total_with_a_detectable_reset(self, increments, data):
+        """A reset contributes its post-restart value in full, never a negative."""
+        reset_at = data.draw(st.integers(1, len(increments) - 1), label="reset_at")
+        store = WindowStore()
+        values = []
+        cumulative = 0
+        for index, increment in enumerate(increments):
+            if index == reset_at:
+                cumulative = 0
+            cumulative += increment
+            values.append(cumulative)
+        # Only a value that actually went *down* is a detectable reset; a
+        # restart that instantly overtakes the old count is invisible by
+        # construction (that ambiguity is inherent to cumulative series).
+        assume(values[reset_at] < values[reset_at - 1])
+        for index, value in enumerate(values):
+            store.observe(counter_snapshot(value), at=float(index))
+        assert store.counter_sum("c_total") == float(sum(increments[1:]))
+        assert store.counter_sum("c_total") >= 0.0
+
+    @given(st.lists(st.integers(0, 64).map(lambda q: q / 4.0), min_size=1, max_size=16))
+    def test_histogram_count_and_mean_accumulate(self, values):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=BOUNDS)
+        store = WindowStore()
+        store.observe(registry.snapshot(), at=0.0)  # anchor on an empty registry
+        for index, value in enumerate(values):
+            hist.observe(value)
+            store.observe(registry.snapshot(), at=float(index + 1))
+        assert store.observation_count("h_seconds") == len(values)
+        assert store.mean("h_seconds") == sum(values) / len(values)
+
+
+class TestSnapshotDelta:
+    def test_counter_and_new_family_deltas(self):
+        previous = counter_snapshot(5.0)
+        current = counter_snapshot(8.0)
+        current["new_total"] = counter_snapshot(2.0, name="new_total")["new_total"]
+        delta = snapshot_delta(previous, current)
+        assert delta["c_total"]["series"][0]["value"] == 3.0
+        # A family absent from the previous snapshot contributes in full.
+        assert delta["new_total"]["series"][0]["value"] == 2.0
+
+    def test_counter_reset_takes_current_value_in_full(self):
+        delta = snapshot_delta(counter_snapshot(100.0), counter_snapshot(4.0))
+        assert delta["c_total"]["series"][0]["value"] == 4.0
+
+    def test_gauges_copy_current(self):
+        gauge = {
+            "g": {"kind": "gauge", "help": "", "labels": [],
+                  "series": [{"labels": {}, "value": 7.0}]}
+        }
+        assert snapshot_delta({}, gauge)["g"]["series"][0]["value"] == 7.0
+
+    def test_histogram_delta_and_reset(self):
+        def hist(buckets, total, sum_value):
+            return {
+                "h": {"kind": "histogram", "help": "", "labels": [],
+                      "bounds": [1.0, 2.0],
+                      "series": [{"labels": {}, "buckets": buckets,
+                                  "count": total, "sum": sum_value}]}
+            }
+
+        delta = snapshot_delta(hist([2, 1, 0], 3, 2.5), hist([3, 2, 1], 6, 7.5))
+        (series,) = delta["h"]["series"]
+        assert series["buckets"] == [1, 1, 1]
+        assert series["count"] == 3
+        assert series["sum"] == 5.0
+        # A bucket going backwards means the source restarted.
+        reset = snapshot_delta(hist([2, 1, 0], 3, 2.5), hist([1, 0, 0], 1, 0.5))
+        (series,) = reset["h"]["series"]
+        assert series["buckets"] == [1, 0, 0]
+        assert series["count"] == 1
+        assert series["sum"] == 0.5
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_has_no_quantile(self):
+        assert histogram_quantile((1.0, 2.0), (0, 0, 0), 0.99) is None
+
+    def test_interpolates_inside_the_target_bucket(self):
+        # Two observations in the first bucket [0, 1]: the median sits at
+        # the bucket's halfway point.
+        assert histogram_quantile((1.0, 2.0, 4.0), (2, 0, 0, 0), 0.5) == 0.5
+        # [1, 1, 1] across (1, 2, 4): p50 rank 1.5 lands halfway into (1, 2].
+        assert histogram_quantile((1.0, 2.0, 4.0), (1, 1, 1, 0), 0.5) == 1.5
+
+    def test_overflow_bucket_clamps_to_top_finite_boundary(self):
+        assert histogram_quantile((1.0, 2.0, 4.0), (0, 0, 0, 3), 0.5) == 4.0
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            histogram_quantile((1.0,), (1, 0), 1.5)
+
+    def test_quantiles_with_count_reports_honest_n(self):
+        result = quantiles_with_count([0.5, 1.5, 3.0], (0.5, 0.99), (1.0, 2.0, 4.0))
+        assert result["n"] == 3
+        assert result["p50"] == 1.5
+        # p99 is clamped inside the top occupied bucket, not extrapolated
+        # past anything a sample actually experienced.
+        assert result["p99"] <= 4.0
+        assert quantiles_with_count([], (0.5,), (1.0,)) == {"n": 0, "p50": None}
+
+
+class TestWindowStore:
+    def test_first_observation_only_anchors(self):
+        store = WindowStore()
+        store.observe(counter_snapshot(10.0), at=1.0)
+        assert store.deltas() == []
+        assert store.counter_sum("c_total") == 0.0
+        assert store.rate("c_total") is None
+
+    def test_rate_and_label_subset_filtering(self):
+        registry = MetricsRegistry()
+        family = registry.counter("jobs_total", labels=("kind", "status"))
+        store = WindowStore()
+        store.observe(registry.snapshot(), at=0.0)
+        family.inc(3, kind="repair", status="done")
+        family.inc(1, kind="verify", status="done")
+        family.inc(1, kind="repair", status="failed")
+        store.observe(registry.snapshot(), at=10.0)
+        assert store.counter_sum("jobs_total") == 5.0
+        assert store.counter_sum("jobs_total", {"status": "done"}) == 4.0
+        assert store.counter_sum("jobs_total", {"kind": "repair"}) == 4.0
+        assert store.rate("jobs_total", {"status": "done"}) == 0.4
+        assert store.ratio("jobs_total", {"status": "failed"}) == 0.2
+        # No increments at all in the family: the ratio is undefined.
+        assert store.ratio("absent_total", {"status": "failed"}) is None
+
+    def test_window_argument_limits_the_lookback(self):
+        store = WindowStore()
+        for index, value in enumerate((0.0, 10.0, 11.0, 12.0)):
+            store.observe(counter_snapshot(value), at=float(index * 100))
+        assert store.counter_sum("c_total") == 12.0
+        # Only the two most recent deltas end within the last 150 seconds
+        # (lookback is measured from the newest delta's end).
+        assert store.counter_sum("c_total", window=150.0) == 2.0
+        assert store.span_seconds(window=150.0) == 200.0
+
+    def test_non_increasing_timestamp_reanchors(self):
+        store = WindowStore()
+        store.observe(counter_snapshot(0.0), at=5.0)
+        store.observe(counter_snapshot(3.0), at=5.0)  # same clock reading
+        assert store.deltas() == []
+        store.observe(counter_snapshot(4.0), at=6.0)
+        assert store.counter_sum("c_total") == 1.0
+
+    def test_max_deltas_bounds_retention(self):
+        store = WindowStore(max_deltas=2)
+        for index in range(5):
+            store.observe(counter_snapshot(float(index)), at=float(index))
+        assert len(store.deltas()) == 2
+        assert store.counter_sum("c_total") == 2.0
+        with pytest.raises(ValueError, match="max_deltas"):
+            WindowStore(max_deltas=0)
+
+    def test_merge_interleaves_by_end_time(self):
+        left, right = WindowStore(), WindowStore()
+        left.observe(counter_snapshot(0.0), at=0.0)
+        left.observe(counter_snapshot(2.0), at=2.0)
+        right.observe(counter_snapshot(0.0), at=1.0)
+        right.observe(counter_snapshot(5.0), at=3.0)
+        merged = left.merge(right)
+        assert [delta.end for delta in merged.deltas()] == [2.0, 3.0]
+        assert merged.counter_sum("c_total") == 7.0
+
+    def test_histogram_quantile_over_the_window(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+        store = WindowStore()
+        store.observe(registry.snapshot(), at=0.0)
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.observe(value)
+        store.observe(registry.snapshot(), at=1.0)
+        assert store.observation_count("h_seconds") == 4
+        # Counts [1, 1, 2] across (1, 2, 4): rank 2 lands exactly on the
+        # upper edge of the (1, 2] bucket.
+        assert store.quantile("h_seconds", 0.5) == 2.0
+        assert store.quantile("absent_seconds", 0.5) is None
+
+
+class TestSloSpec:
+    def fail_ratio_spec(self, **overrides) -> SloSpec:
+        fields = dict(
+            name="job_failure_ratio",
+            series="jobs_total",
+            agg="ratio",
+            numerator={"status": "failed"},
+            degraded=0.1,
+            unhealthy=0.5,
+        )
+        fields.update(overrides)
+        return SloSpec(**fields)
+
+    def test_validation_rejects_malformed_specs(self):
+        with pytest.raises(ValueError, match="op"):
+            self.fail_ratio_spec(op="<")
+        with pytest.raises(ValueError, match="aggregation"):
+            self.fail_ratio_spec(agg="p999")
+        with pytest.raises(ValueError, match="numerator"):
+            SloSpec(name="x", series="s", agg="ratio", degraded=0.1)
+        with pytest.raises(ValueError, match="beyond"):
+            self.fail_ratio_spec(degraded=0.5, unhealthy=0.1)
+        with pytest.raises(ValueError, match="beyond"):
+            self.fail_ratio_spec(op=">=", degraded=0.1, unhealthy=0.5)
+
+    def test_round_trips_through_json(self):
+        spec = self.fail_ratio_spec(labels={"kind": "repair"}, window=60.0)
+        rebuilt = SloSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert rebuilt == spec
+        with pytest.raises(ValueError, match="unknown SLO spec fields"):
+            SloSpec.from_dict({**spec.as_dict(), "threshold": 1.0})
+
+    def test_grading_lower_is_better(self):
+        spec = self.fail_ratio_spec()
+        assert spec.grade(None) == (HEALTHY, f"{spec.name}: no data in window (vacuously healthy)")
+        assert spec.grade(0.05)[0] == HEALTHY
+        assert spec.grade(0.2)[0] == DEGRADED
+        status, reason = spec.grade(0.9)
+        assert status == UNHEALTHY
+        assert "violates <= 0.5" in reason
+
+    def test_grading_higher_is_better(self):
+        spec = SloSpec(
+            name="cache_hit_ratio", series="cache_total", agg="ratio",
+            numerator={"result": "hit"}, op=">=", degraded=0.8, unhealthy=0.2,
+        )
+        assert spec.grade(0.9)[0] == HEALTHY
+        assert spec.grade(0.5)[0] == DEGRADED
+        assert spec.grade(0.1)[0] == UNHEALTHY
+
+    def _store_with_failures(self, done: int, failed: int) -> WindowStore:
+        registry = MetricsRegistry()
+        family = registry.counter("jobs_total", labels=("status",))
+        store = WindowStore()
+        store.observe(registry.snapshot(), at=0.0)
+        family.inc(done, status="done")
+        family.inc(failed, status="failed")
+        store.observe(registry.snapshot(), at=10.0)
+        return store
+
+    def test_evaluate_worst_verdict_wins(self):
+        specs = [
+            self.fail_ratio_spec(),
+            SloSpec(name="job_rate", series="jobs_total", agg="rate", degraded=1e6),
+        ]
+        verdict = evaluate(specs, self._store_with_failures(done=8, failed=2))
+        assert verdict["status"] == DEGRADED  # ratio 0.2 degrades, rate is fine
+        assert verdict["window_seconds"] == 10.0
+        assert len(verdict["reasons"]) == 1 and "job_failure_ratio" in verdict["reasons"][0]
+        by_name = {entry["name"]: entry for entry in verdict["slos"]}
+        assert by_name["job_failure_ratio"]["value"] == 0.2
+        assert by_name["job_rate"]["status"] == HEALTHY
+        assert SloSpec.from_dict(by_name["job_rate"]["spec"]).agg == "rate"
+
+        unhealthy = evaluate(specs, self._store_with_failures(done=2, failed=8))
+        assert unhealthy["status"] == UNHEALTHY
+
+    def test_evaluate_empty_store_is_vacuously_healthy(self):
+        verdict = evaluate([self.fail_ratio_spec()], WindowStore())
+        assert verdict["status"] == HEALTHY
+        assert verdict["reasons"] == []
+        assert "vacuously" in verdict["slos"][0]["reason"]
+
+
+class TestSamplingProfiler:
+    def test_forced_start_sample_captures_the_caller(self):
+        # A one-minute interval: the only sample is the synchronous one
+        # taken inside start(), which must still see this very function.
+        profiler = SamplingProfiler(interval=60.0, thread_ids=(threading.get_ident(),))
+        profiler.start()
+        profiler.stop()
+        document = profiler.as_dict()
+        assert document["samples"] >= 1
+        assert document["interval_seconds"] == 60.0
+        assert "test_forced_start_sample_captures_the_caller" in document["folded"]
+        assert sum(document["stacks"].values()) >= 1
+
+    def test_folded_lines_parse_as_stack_and_count(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            deadline = time.monotonic() + 0.5
+            while time.monotonic() < deadline and profiler.sample_count < 5:
+                sum(range(200))
+        assert profiler.sample_count >= 2
+        for line in profiler.folded().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert int(count) >= 1
+            for frame in stack.split(";"):
+                module, name, lineno = frame.rsplit(":", 2)
+                assert module and name and int(lineno) >= 1
+
+    def test_stop_is_idempotent_and_output_stable(self):
+        profiler = SamplingProfiler(interval=0.001).start()
+        profiler.stop()
+        frozen = profiler.folded()
+        profiler.stop()
+        assert profiler.folded() == frozen
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError, match="interval"):
+            SamplingProfiler(interval=0.0)

@@ -25,8 +25,10 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+import repro.obs as obs
 from repro.driver import DriverConfig, RepairDriver
 from repro.exceptions import SpecificationError
+from repro.obs import SloSpec
 from repro.nn.activations import ReLULayer
 from repro.nn.linear import FullyConnectedLayer
 from repro.nn.network import Network
@@ -501,9 +503,126 @@ class TestTelemetrySurfaces:
         # End-to-end latency covers the queue wait plus the run itself.
         assert status["latency_seconds"] >= status["run_seconds"]
 
-    def test_service_owns_obs_lifecycle(self, tmp_path):
-        import repro.obs as obs
 
+class TestHealthSurfaces:
+    """/healthz, /readyz, /slo, and /jobs/<id>/profile on a live daemon."""
+
+    def test_readyz_reports_engine_and_state_dir(self, http_server):
+        client, _ = http_server
+        ready = client.readyz()
+        assert ready["ready"] is True
+        assert ready["checks"] == {"engine_pool": True, "state_dir_writable": True}
+
+    def test_healthz_and_slo_after_clean_traffic(self, http_server):
+        client, _ = http_server
+        network, spec = plane_scenario(12345)
+        job_id = client.submit(make_job("verify", network, spec))
+        assert client.wait(job_id, timeout=60)["status"] == "done"
+        verdict = client.healthz()
+        # One fast, successful job can only be healthy (or vacuously so,
+        # if the first window observation just anchored).
+        assert verdict["status"] == "healthy"
+        assert verdict["reasons"] == []
+        assert verdict["jobs"].get("done", 0) >= 1
+        assert verdict["window_seconds"] >= 0.0
+        document = client.slo()
+        names = {entry["name"] for entry in document["slos"]}
+        assert {"job_p99_seconds", "job_failure_ratio", "http_5xx_ratio"} <= names
+        for entry in document["slos"]:
+            assert entry["status"] in ("healthy", "degraded", "unhealthy")
+            assert entry["reason"]
+            # The served spec is config, not prose: it rebuilds losslessly.
+            assert SloSpec.from_dict(entry["spec"]).name == entry["name"]
+
+    def test_unhealthy_verdict_maps_to_503_with_parsed_body(self, tmp_path):
+        # A hostile SLO that grades *any* request traffic unhealthy, so the
+        # 503 path is reachable from a perfectly functional daemon.
+        slos = (
+            SloSpec(
+                name="no_traffic_allowed",
+                series="repro_service_requests_total",
+                agg="total",
+                degraded=0.0,
+                unhealthy=1.0,
+            ),
+        )
+        server = serve(tmp_path / "state", port=0, slos=slos)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        try:
+            # First call anchors the window: no deltas yet, vacuously healthy.
+            assert client.healthz()["status"] == "healthy"
+            client.health()
+            client.health()
+            verdict = client.healthz()  # served as a 503; body still parsed
+            assert verdict["status"] == "unhealthy"
+            assert any("no_traffic_allowed" in reason for reason in verdict["reasons"])
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.service.stop()
+            thread.join(timeout=10)
+
+    def test_profile_of_a_finished_job(self, http_server):
+        client, _ = http_server
+        network, spec = plane_scenario(12345)
+        job_id = client.submit(make_job("repair", network, spec, config={"max_rounds": 8}))
+        assert client.wait(job_id, timeout=240)["status"] == "done"
+        profile = client.profile(job_id)
+        assert profile["job_id"] == job_id
+        assert profile["samples"] >= 1
+        # The forced start sample guarantees the stacks reach the daemon's
+        # job-execution frames even for sub-interval jobs.
+        assert "_execute" in profile["folded"]
+        assert sum(profile["stacks"].values()) >= 1
+        with pytest.raises(ServiceError) as missing:
+            client.profile("job-424242")
+        assert missing.value.status == 404
+
+    def test_profile_is_409_for_a_recovered_never_rerun_job(self, tmp_path):
+        """Profiles are in-memory, like traces: disk recovery has none."""
+        network, spec = plane_scenario(12345)
+        service = RepairService(tmp_path / "state")
+        try:
+            job_id = service.submit(make_job("verify", network, spec))
+            assert service.wait(job_id, timeout=60)["status"] == "done"
+        finally:
+            service.stop()
+        server = serve(tmp_path / "state", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        try:
+            with pytest.raises(ServiceError) as conflict:
+                client.profile(job_id)
+            assert conflict.value.status == 409
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.service.stop()
+            thread.join(timeout=10)
+
+
+class TestClientBackoff:
+    def test_wait_backoff_schedule_and_poll_counter(self, monkeypatch):
+        """Deterministic capped doubling, one counter increment per poll."""
+        client = ServiceClient("http://127.0.0.1:1")
+        statuses = iter(["queued", "queued", "queued", "queued", "running", "done"])
+        monkeypatch.setattr(client, "status", lambda job_id: {"status": next(statuses)})
+        monkeypatch.setattr(client, "result", lambda job_id: {"status": "done"})
+        sleeps: list[float] = []
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        with obs.isolated():
+            result = client.wait("job-1", poll_interval=0.05, max_poll_interval=0.4)
+            polls = obs.counter("repro_client_polls_total").value()
+        assert result == {"status": "done"}
+        assert sleeps == [0.05, 0.1, 0.2, 0.4, 0.4]
+        assert polls == 6.0
+
+    def test_service_owns_obs_lifecycle(self, tmp_path):
         was_enabled = obs.enabled()
         obs.disable()
         try:
