@@ -29,6 +29,15 @@ single bit).  With ``--min-round-speedup`` (set by default to 2.0 for
 scenarios reaching ≥ 4 rounds) the script also fails if the speedup target
 is missed.
 
+On top of the cold/incremental pair (default backend), every scenario also
+sweeps an **LP backend portfolio** (``--backends``, default scipy, the
+native highspy backend, and a ``race:highs_native,scipy`` portfolio): each
+backend gets its own cold + incremental pair, its per-round cost lands in
+the record's ``backends`` table, and — whenever the backend's warm start is
+exact — the same byte-level cross-check the default pair gets.  Degraded
+backends (``highs_native`` without ``highspy``) are benchmarked in whatever
+mode the environment provides and flagged via ``available``.
+
 Results are written as JSON with the same report shape as
 ``bench_lp_scaling.py`` (default ``BENCH_incremental.json``) so CI can
 archive the trajectory.
@@ -54,11 +63,20 @@ from conftest import telemetry_document
 from repro.datasets.acas import phi8_property
 from repro.driver import RepairDriver
 from repro.experiments.task3_acas import Task3Setup, strengthened_verification_spec
+from repro.lp.backends import backend_capabilities
 from repro.models.acas_models import build_acas_network
 from repro.utils.rng import ensure_rng
 from repro.verify import SyrennVerifier, VerificationSpec
 
 MAX_ROUNDS = 60
+
+#: LP backend specs benchmarked per scenario (see ``--backends``).
+DEFAULT_PORTFOLIO = ["scipy", "highs_native", "race:highs_native,scipy"]
+
+
+def backend_slug(spec: str) -> str:
+    """A metric-name-safe slug for a backend spec (``race:a,b`` → ``race_a_b``)."""
+    return spec.replace(":", "_").replace(",", "_")
 
 
 def build_workload(
@@ -77,7 +95,12 @@ def build_workload(
 
 
 def run_driver(
-    network, spec: VerificationSpec, *, incremental: bool, ration: int
+    network,
+    spec: VerificationSpec,
+    *,
+    incremental: bool,
+    ration: int,
+    backend: str | None = None,
 ) -> dict:
     """One full driver run; returns timings plus the report for cross-checks."""
     start = time.perf_counter()
@@ -88,6 +111,7 @@ def run_driver(
         max_rounds=MAX_ROUNDS,
         incremental=incremental,
         max_new_counterexamples=ration,
+        backend=backend,
     )
     report = driver.run()
     total = time.perf_counter() - start
@@ -135,6 +159,55 @@ def cross_check(cold: dict, incremental: dict) -> None:
         raise AssertionError("a final network violates pooled counterexamples")
 
 
+def run_backend_portfolio(network, spec, *, ration: int, backends: list[str]) -> dict:
+    """Per-backend cold + incremental pairs for one scenario.
+
+    Returns ``{spec: {...}}`` with per-round costs, the round speedup, and
+    the capability probe.  Backends whose warm start is exact get the full
+    byte-level :func:`cross_check`; inexact ones (the native basis-reuse
+    path steers pivots) are held to verdict-level agreement — both runs
+    must certify.
+    """
+    table: dict[str, dict] = {}
+    for backend_spec in backends:
+        probe = backend_capabilities(backend_spec)
+        cold = run_driver(
+            network, spec, incremental=False, ration=ration, backend=backend_spec
+        )
+        incremental = run_driver(
+            network, spec, incremental=True, ration=ration, backend=backend_spec
+        )
+        if probe["warm_start_is_exact"]:
+            cross_check(cold, incremental)
+        elif not (cold["certified"] and incremental["certified"]):
+            raise AssertionError(
+                f"backend {backend_spec!r} failed to certify the workload"
+            )
+        cold.pop("report")
+        incremental.pop("report")
+        table[backend_spec] = {
+            "slug": backend_slug(backend_spec),
+            "available": probe["available"],
+            "warm_start_is_exact": probe["warm_start_is_exact"],
+            "cold_mean_round_seconds": cold["mean_round_seconds"],
+            "incremental_mean_round_seconds": incremental["mean_round_seconds"],
+            "round_speedup": cold["mean_round_seconds"]
+            / max(incremental["mean_round_seconds"], 1e-12),
+            "rounds": incremental["rounds"],
+            "warm_started_rounds": incremental["warm_started_rounds"],
+            "total_seconds": incremental["total_seconds"],
+        }
+        entry = table[backend_spec]
+        print(
+            f"    backend={backend_spec:<28} "
+            f"cold/round={entry['cold_mean_round_seconds'] * 1e3:7.1f}ms  "
+            f"incremental/round={entry['incremental_mean_round_seconds'] * 1e3:7.1f}ms  "
+            f"round-speedup={entry['round_speedup']:.1f}x"
+            f"{'' if entry['available'] else '  (degraded: native solver missing)'}"
+        )
+    return table
+
+
 def run_benchmark(
     rations: list[int],
     *,
@@ -143,6 +216,7 @@ def run_benchmark(
     hidden_layers: int,
     seed: int,
     min_round_speedup: float | None,
+    backends: list[str] | None = None,
 ) -> dict:
     """Sweep counterexample rations and return the JSON-ready report."""
     network, spec = build_workload(num_slices, hidden_size, hidden_layers, seed)
@@ -164,6 +238,9 @@ def run_benchmark(
             "incremental": incremental,
             "round_speedup": round_speedup,
             "total_speedup": total_speedup,
+            "backends": run_backend_portfolio(
+                network, spec, ration=ration, backends=backends or DEFAULT_PORTFOLIO
+            ),
         }
         records.append(record)
         print(
@@ -224,6 +301,13 @@ def main() -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        help="LP backend specs to sweep per scenario "
+        f"(default: {' '.join(DEFAULT_PORTFOLIO)})",
+    )
+    parser.add_argument(
         "--min-round-speedup",
         type=float,
         default=2.0,
@@ -259,6 +343,7 @@ def main() -> None:
         hidden_layers=args.layers,
         seed=args.seed,
         min_round_speedup=args.min_round_speedup or None,
+        backends=args.backends,
     )
     report["telemetry"] = telemetry_document()
     args.out.write_text(json.dumps(report, indent=2) + "\n")

@@ -111,6 +111,24 @@ def extract(document: dict) -> dict[str, dict]:
             )
         if speedups:
             put("incremental_round_speedup", max(speedups), "higher")
+        # Per-backend round costs from the portfolio sweep: one
+        # lower-is-better series per backend spec, averaged across rations,
+        # so an LP-layer regression is attributable to the backend that
+        # caused it.  Degraded entries (native solver missing) still count —
+        # they measure the spec's real cost in this environment, racing
+        # overhead included.
+        per_backend: dict[str, list[float]] = {}
+        for entry in results:
+            for info in (entry.get("backends") or {}).values():
+                value = info.get("incremental_mean_round_seconds")
+                if value is not None:
+                    per_backend.setdefault(info["slug"], []).append(float(value))
+        for slug, values in per_backend.items():
+            put(
+                f"incremental_backend_{slug}_round_seconds",
+                sum(values) / len(values),
+                "lower",
+            )
 
     totals = _histogram_totals(document.get("telemetry") or {}, "repro_lp_solve_seconds")
     if totals is not None and totals[1] > 0:

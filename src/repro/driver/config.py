@@ -84,6 +84,24 @@ class DriverConfig:
             raise RepairError("max_new_counterexamples must be positive (or None)")
         if self.layer_schedule is not None and len(self.layer_schedule) == 0:
             raise RepairError("the layer schedule is empty")
+        if self.backend is not None:
+            self._validate_backend(self.backend)
+
+    @staticmethod
+    def _validate_backend(spec: str) -> None:
+        """Reject unknown backend names / malformed ``race:`` specs at decode
+        time, so a job that misspells its LP portfolio fails before round 1.
+
+        Degraded-but-registered backends (``highs_native`` without
+        ``highspy``) pass: degradation is a capability, not a config error.
+        """
+        from repro.exceptions import LPError
+        from repro.lp.backends import get_backend
+
+        try:
+            get_backend(spec)
+        except LPError as error:
+            raise RepairError(f"invalid LP backend spec {spec!r}: {error}") from error
 
     # ------------------------------------------------------------------
     # Serialization
@@ -100,8 +118,18 @@ class DriverConfig:
         """Rebuild a config from :meth:`to_dict` output (or hand-written JSON).
 
         Unknown keys are rejected rather than ignored: a job that misspells
-        a knob must fail loudly, not silently run with the default.
+        a knob must fail loudly, not silently run with the default.  One
+        spelling convenience: ``lp_backend`` is accepted as an alias for
+        ``backend`` (the name used in docs and racing examples), but never
+        alongside it.
         """
+        if "lp_backend" in payload:
+            if "backend" in payload:
+                raise RepairError(
+                    'config gives both "backend" and its alias "lp_backend"'
+                )
+            payload = dict(payload)
+            payload["backend"] = payload.pop("lp_backend")
         known = {entry.name for entry in fields(cls)}
         unknown = set(payload) - known
         if unknown:

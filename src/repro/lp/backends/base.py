@@ -22,6 +22,14 @@ class LPBackend(abc.ABC):
     #: still accept sparse inputs by densifying them (see :meth:`as_dense`).
     supports_sparse: bool = False
 
+    #: Whether this backend's solver is actually present in the process.
+    #: Backends wrapping an optional native dependency (``highs_native``)
+    #: set this ``False`` when the dependency is missing and degrade to a
+    #: fallback path; the registry's capability probe surfaces the flag so
+    #: callers (and the test-suite's ``requires_highspy`` marker) can tell a
+    #: real native solve from a degraded one.
+    available: bool = True
+
     @property
     def warm_start_is_exact(self) -> bool:
         """Whether warm-started solves are byte-identical to cold solves.
@@ -62,6 +70,19 @@ class LPBackend(abc.ABC):
         its ``warm_start`` carries the handle for the next solve.
         """
         raise NotImplementedError
+
+    def accepts_handle(self, warm_start: WarmStart) -> bool:
+        """Whether a :class:`WarmStart` minted by ``warm_start.backend`` may
+        be handed to this backend's :meth:`solve` at all.
+
+        :class:`~repro.lp.model.LPSession` consults this before threading a
+        handle through, so handles never reach a solver that cannot even
+        recognize their provenance.  The default accepts only this backend's
+        own handles; composite backends (racing portfolios, fallback
+        wrappers) override it to accept their members' names — the handle a
+        racing solve returns is minted by whichever member answered.
+        """
+        return warm_start.backend == self.name
 
     @staticmethod
     def as_dense(matrix) -> np.ndarray:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linprog
 
+import repro.obs as obs
 from repro.lp.backends.base import LPBackend
 from repro.lp.model import LPSolution, WarmStart
 from repro.lp.status import LPStatus
@@ -22,6 +23,25 @@ _STATUS_MAP = {
 #: default) does not — passing ``x0`` there only raises an OptimizeWarning —
 #: so warm starts silently fall back to cold solves for every other method.
 _X0_METHODS = frozenset({"revised simplex"})
+
+
+def _count_warmstart_fallback(backend: str, reason: str) -> None:
+    """Count a warm start that was supplied but could not be exploited.
+
+    Without this counter, ``warm_start_used=False`` is indistinguishable
+    from "no handle supplied" — a session can thread handles through every
+    round while the solver quietly cold-starts each one.  Reasons:
+    ``method_rejects_x0`` (solver method takes no initial guess — the HiGHS
+    default), ``shape_mismatch`` (stale handle from a different variable
+    space), ``guess_rejected`` (solver tried ``x0`` and bounced, retried
+    cold).
+    """
+    if obs.enabled():
+        obs.counter(
+            "repro_lp_warmstart_fallback_total",
+            "Warm-start handles supplied to a solve but not exploited.",
+            labels=("backend", "reason"),
+        ).inc(backend=backend, reason=reason)
 
 
 def _num_entries(matrix) -> int:
@@ -56,12 +76,13 @@ class ScipyBackend(LPBackend):
     def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None) -> LPSolution:
         bounds_list = [(row[0], row[1]) for row in np.asarray(bounds, dtype=float)]
         x0 = None
-        if (
-            warm_start is not None
-            and self.method in _X0_METHODS
-            and warm_start.values.shape == np.shape(c)
-        ):
-            x0 = warm_start.values
+        if warm_start is not None:
+            if self.method not in _X0_METHODS:
+                _count_warmstart_fallback(self.name, "method_rejects_x0")
+            elif warm_start.values.shape != np.shape(c):
+                _count_warmstart_fallback(self.name, "shape_mismatch")
+            else:
+                x0 = warm_start.values
 
         def run(guess):
             return linprog(
@@ -81,7 +102,8 @@ class ScipyBackend(LPBackend):
             # converted to a basic feasible solution — the normal case once
             # appended rows cut off the previous optimum) or otherwise did
             # not reach optimality: per the warm-start contract, retry cold
-            # silently rather than surface a spurious failure.
+            # rather than surface a spurious failure — but count it.
+            _count_warmstart_fallback(self.name, "guess_rejected")
             x0 = None
             result = run(None)
         status = _STATUS_MAP.get(result.status, LPStatus.ERROR)

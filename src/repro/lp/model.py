@@ -593,7 +593,7 @@ class LPSession:
         """
         if self._num_variables == 0:
             return LPSolution(LPStatus.OPTIMAL, np.zeros(0), 0.0, "empty model")
-        if warm_start is not None and warm_start.backend != self._solver.name:
+        if warm_start is not None and not self._solver.accepts_handle(warm_start):
             warm_start = None
         form = self.standard_form()
         handle = warm_start

@@ -1,0 +1,218 @@
+"""Deterministic LP solver racing over a portfolio of backends.
+
+``RacingBackend`` launches the same standard form on 2–3 member backends
+concurrently and exposes the portfolio as one ordinary
+:class:`~repro.lp.backends.base.LPBackend`, so every existing call site —
+``LPModel.solve``, incremental :class:`~repro.lp.model.LPSession` rounds,
+the repair driver's ``backend=`` knob — can race by spelling the backend
+name ``"race:highs_native,scipy"``.
+
+Determinism contract
+--------------------
+Racing must never change a repair's bytes.  The first racer to return a
+terminal status is the race's *wall-clock winner* (telemetry only); the
+**returned** solution is always re-normalized to the answer of the
+most-preferred member that completed without raising — the first name in
+the spec.  Concretely:
+
+* while the preferred backend is healthy, the race waits for it and
+  returns its :class:`~repro.lp.model.LPSolution` verbatim, so a
+  ``race:`` run is byte-identical to a solo preferred-backend run at any
+  worker count and in any member order (each order is pinned to *its own*
+  preferred member — that is the ordered-preference tie-break);
+* when the winner's status disagrees with the preferred answer the
+  preferred answer still wins and the disagreement is counted
+  (``repro_lp_race_disagreements_total``) — a racing portfolio is a
+  performance and robustness device, never a second source of truth;
+* a racer that raises is counted (``repro_lp_race_failures_total``) and
+  preference falls to the next member; the race only raises if *every*
+  member fails.
+
+Once the returned answer is fixed, the remaining racers are cancelled:
+pending ones before they start, running ones cooperatively — the race sets
+the ``cancel_event`` attribute of any member that exposes one (a
+:class:`threading.Event`) and abandons the thread without joining.
+
+Racers run on **threads**, not the engine's process pool: scipy/HiGHS and
+``highspy`` both release the GIL inside the solver, the standard form
+(large CSR matrices) would otherwise be pickled per member per round, and
+thread spawn cost is microseconds against millisecond-scale solves.
+
+Telemetry (all per-``backend`` label, published only when ``repro.obs`` is
+enabled): ``repro_lp_race_wins_total``, ``repro_lp_race_losses_total``,
+``repro_lp_race_cancelled_total``, ``repro_lp_race_failures_total``,
+``repro_lp_race_disagreements_total``, and the per-member solve-time
+histogram ``repro_lp_race_solve_seconds``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+
+import repro.obs as obs
+from repro.exceptions import LPError
+from repro.lp.backends.base import LPBackend
+from repro.lp.model import LPSolution, WarmStart
+from repro.utils.timing import wall_cpu_now
+
+#: Prefix that selects racing in a backend-name spec.
+RACE_PREFIX = "race:"
+
+
+def parse_race_spec(spec: str) -> list[str]:
+    """Member backend names of a ``"race:a,b[,c]"`` spec, in preference order.
+
+    Raises :class:`LPError` on an empty, single-member, or duplicated list —
+    a race of one is a typo, not a portfolio.
+    """
+    body = spec[len(RACE_PREFIX):] if spec.startswith(RACE_PREFIX) else spec
+    names = [name.strip() for name in body.split(",") if name.strip()]
+    if len(names) < 2:
+        raise LPError(
+            f"racing spec {spec!r} needs at least two comma-separated backends"
+        )
+    if len(names) != len(set(names)):
+        raise LPError(f"racing spec {spec!r} lists a backend twice")
+    return names
+
+
+class RacingBackend(LPBackend):
+    """Race member backends on each solve; return the preferred answer.
+
+    ``backends`` are instantiated members in preference order (first =
+    preferred).  The portfolio's sparse/exactness capabilities mirror the
+    preferred member, because the returned bytes are the preferred
+    member's: ``LPModel.solve`` must hand the race the same standard-form
+    representation a solo preferred run would see.
+    """
+
+    def __init__(self, backends: list[LPBackend]) -> None:
+        if len(backends) < 2:
+            raise LPError("a racing backend needs at least two members")
+        self.backends = list(backends)
+        self.name = RACE_PREFIX + ",".join(backend.name for backend in self.backends)
+
+    @property
+    def preferred(self) -> LPBackend:
+        """The member whose answer the race returns (first in the spec)."""
+        return self.backends[0]
+
+    @property
+    def supports_sparse(self) -> bool:  # type: ignore[override]
+        return self.preferred.supports_sparse
+
+    @property
+    def warm_start_is_exact(self) -> bool:
+        return self.preferred.warm_start_is_exact
+
+    def accepts_handle(self, warm_start: WarmStart) -> bool:
+        """Accept any member's handles — each member re-checks its own."""
+        return any(backend.accepts_handle(warm_start) for backend in self.backends)
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None) -> LPSolution:
+        form = (c, a_ub, b_ub, a_eq, b_eq, bounds)
+        executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=len(self.backends), thread_name_prefix="lp-race"
+        )
+        cancel_events: dict[int, threading.Event] = {}
+        for index, backend in enumerate(self.backends):
+            if hasattr(backend, "cancel_event"):
+                event = threading.Event()
+                backend.cancel_event = event
+                cancel_events[index] = event
+        futures = []
+        for backend in self.backends:
+            handle = warm_start if warm_start is not None and backend.accepts_handle(
+                warm_start
+            ) else None
+            futures.append(executor.submit(self._run_member, backend, form, handle))
+        try:
+            return self._collect(futures, cancel_events)
+        finally:
+            for future in futures:
+                future.cancel()
+            for event in cancel_events.values():
+                event.set()
+            executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    def _run_member(self, backend: LPBackend, form, handle) -> tuple[LPSolution, float]:
+        start, _ = wall_cpu_now()
+        solution = backend.solve(*form, warm_start=handle)
+        return solution, wall_cpu_now()[0] - start
+
+    def _collect(self, futures, cancel_events) -> LPSolution:
+        """Wait until the best still-possible preference has an answer."""
+        outcomes: dict[int, LPSolution | None] = {}  # None = raised
+        winner: int | None = None
+        pending = set(futures)
+        chosen: int | None = None
+        while pending:
+            done, pending = concurrent.futures.wait(
+                pending, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in sorted(done, key=futures.index):
+                index = futures.index(future)
+                try:
+                    solution, elapsed = future.result()
+                except Exception as error:
+                    outcomes[index] = None
+                    self._count("repro_lp_race_failures_total", index)
+                    self._last_error = error
+                else:
+                    outcomes[index] = solution
+                    self._observe_time(index, elapsed)
+                    if winner is None:
+                        winner = index
+                        self._count("repro_lp_race_wins_total", index)
+                    else:
+                        self._count("repro_lp_race_losses_total", index)
+            chosen = self._resolved_preference(outcomes)
+            if chosen is not None:
+                break
+        if chosen is None:
+            chosen = self._resolved_preference(outcomes)
+        for index in range(len(self.backends)):
+            if index not in outcomes and index != chosen:
+                self._count("repro_lp_race_cancelled_total", index)
+        if chosen is None:
+            raise LPError(
+                f"every racing backend failed ({self.name}); "
+                f"last error: {getattr(self, '_last_error', None)!r}"
+            )
+        solution = outcomes[chosen]
+        if (
+            winner is not None
+            and winner != chosen
+            and outcomes.get(winner) is not None
+            and outcomes[winner].status is not solution.status
+        ):
+            self._count("repro_lp_race_disagreements_total", chosen)
+        return solution
+
+    def _resolved_preference(self, outcomes: dict) -> int | None:
+        """Most-preferred member with a solution, if every member ahead of
+        it has already resolved (to a failure).  ``None`` = keep waiting."""
+        for index in range(len(self.backends)):
+            if index not in outcomes:
+                return None  # a more-preferred racer is still running
+            if outcomes[index] is not None:
+                return index
+        return None  # everyone resolved, everyone failed
+
+    def _count(self, family: str, index: int) -> None:
+        if obs.enabled():
+            obs.counter(
+                family,
+                "LP racing outcomes, by member backend.",
+                labels=("backend",),
+            ).inc(backend=self.backends[index].name)
+
+    def _observe_time(self, index: int, elapsed: float) -> None:
+        if obs.enabled():
+            obs.histogram(
+                "repro_lp_race_solve_seconds",
+                "Per-member wall-clock seconds inside LP races.",
+                labels=("backend",),
+            ).observe(elapsed, backend=self.backends[index].name)

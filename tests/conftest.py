@@ -5,11 +5,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.lp.backends import backend_capabilities
 from repro.models.toy import paper_network_n1, paper_network_n2
 from repro.nn.activations import ReLULayer, TanhLayer
 from repro.nn.linear import FullyConnectedLayer
 from repro.nn.network import Network
 from repro.utils.rng import ensure_rng
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``requires_highspy`` tests when the native bindings are absent.
+
+    The registry's capability probe — not an import attempt here — is the
+    source of truth, so the marker and the runtime degradation path can
+    never disagree about what "available" means.
+    """
+    if backend_capabilities("highs_native")["available"]:
+        return
+    skip = pytest.mark.skip(reason="highspy is not installed (native HiGHS backend degraded)")
+    for item in items:
+        if "requires_highspy" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture

@@ -1,0 +1,250 @@
+"""Tests for deterministic LP solver racing.
+
+Two layers of pinning:
+
+* a **differential matrix** on the strengthened ACAS φ8 driver workload:
+  a ``race:`` run must be byte-identical to a solo run of its preferred
+  backend across backend-order permutations × workers {1,4} × incremental
+  on/off — racing is a latency hedge, never a second source of truth;
+* **fault injection** through registered stub backends: a racer that
+  crashes (or hangs, honouring the cooperative ``cancel_event``) must not
+  change the returned answer or raise — the failure lands in telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.datasets.acas import phi8_property
+from repro.driver import RepairDriver
+from repro.engine import ShardedSyrennEngine
+from repro.exceptions import LPError
+from repro.experiments.task3_acas import Task3Setup, strengthened_verification_spec
+from repro.lp.backends import get_backend, register_backend, unregister_backend
+from repro.lp.backends.base import LPBackend
+from repro.lp.model import LPModel
+from repro.lp.norms import add_norm_objective
+from repro.lp.racing import RacingBackend, parse_race_spec
+from repro.lp.status import LPStatus
+from repro.models.acas_models import build_acas_network
+from repro.utils.rng import ensure_rng
+from repro.verify import SyrennVerifier
+
+
+@pytest.fixture(scope="module")
+def acas_phi8():
+    """A small untrained ACAS advisory network plus the strengthened φ8 spec."""
+    seed_rng = ensure_rng(7)
+    network = build_acas_network(hidden_size=8, hidden_layers=2, seed=7)
+    safety_property = phi8_property()
+    slices = [safety_property.random_slice(seed_rng) for _ in range(3)]
+    empty = np.zeros((0, 5))
+    setup = Task3Setup(network, safety_property, slices, empty, empty, 0)
+    return network, strengthened_verification_spec(network, setup)
+
+
+def value_parameters(report) -> list[bytes]:
+    return [
+        report.network.value.layers[index].get_parameters().tobytes()
+        for index in report.network.repairable_layer_indices()
+    ]
+
+
+def run_driver(acas_phi8, backend: str, *, incremental: bool, workers: int):
+    network, spec = acas_phi8
+
+    def run(engine=None):
+        return RepairDriver(
+            network,
+            spec,
+            SyrennVerifier(engine=engine),
+            max_rounds=20,
+            incremental=incremental,
+            max_new_counterexamples=4,
+            backend=backend,
+        ).run()
+
+    if workers > 1:
+        with ShardedSyrennEngine(workers=workers, cache=False) as engine:
+            return run(engine)
+    return run()
+
+
+def fence_form(sparse: bool = False):
+    """min ||d||_inf subject to d_i >= 0.5 — optimum 0.5, unique solve."""
+    model = LPModel()
+    delta = model.add_variables(4, "d")
+    add_norm_objective(model, delta, "linf")
+    model.add_leq_block(-np.eye(4), -np.full(4, 0.5), delta)
+    return model.standard_form(sparse=sparse)
+
+
+class CrashingBackend(LPBackend):
+    """A racer that always raises — the fault-injection stub."""
+
+    name = "crashing_stub"
+    supports_sparse = True
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None):
+        raise RuntimeError("injected solver crash")
+
+
+class HangingBackend(LPBackend):
+    """A racer that blocks until cooperatively cancelled.
+
+    Exposes the ``cancel_event`` attribute the race looks for; a solve
+    parks on the event and only ever ends by cancellation (or a 30 s
+    safety timeout that fails the test loudly instead of deadlocking it).
+    """
+
+    name = "hanging_stub"
+    supports_sparse = True
+
+    def __init__(self) -> None:
+        self.cancel_event = threading.Event()
+        self.cancelled = threading.Event()
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None):
+        if self.cancel_event.wait(timeout=30.0):
+            self.cancelled.set()
+            raise RuntimeError("cancelled cooperatively")
+        raise RuntimeError("hanging stub was never cancelled")
+
+
+@pytest.fixture
+def registered_stubs():
+    register_backend("crashing_stub", CrashingBackend)
+    register_backend("hanging_stub", HangingBackend)
+    yield
+    unregister_backend("crashing_stub")
+    unregister_backend("hanging_stub")
+
+
+class TestRaceSpecParsing:
+    def test_members_in_preference_order(self):
+        assert parse_race_spec("race:highs_native,scipy") == ["highs_native", "scipy"]
+        assert parse_race_spec("race: a , b , c ") == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("spec", ["race:", "race:solo", "race:a,a"])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(LPError):
+            parse_race_spec(spec)
+
+
+class TestRacingDeterminismMatrix:
+    """Race == solo preferred, byte for byte, across the whole matrix."""
+
+    @pytest.mark.parametrize("order", [("scipy", "simplex"), ("simplex", "scipy")])
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_race_matches_solo_preferred(self, acas_phi8, order, workers, incremental):
+        spec = "race:" + ",".join(order)
+        race = run_driver(acas_phi8, spec, incremental=incremental, workers=workers)
+        solo = run_driver(acas_phi8, order[0], incremental=incremental, workers=1)
+
+        assert race.status == "certified" and solo.status == "certified"
+        # Byte-identical repaired parameters and identical trajectories:
+        # whichever member wins the wall clock, the *answer* is always the
+        # preferred member's, so the CEGIS rounds cannot diverge.
+        assert value_parameters(race) == value_parameters(solo)
+        assert race.num_rounds == solo.num_rounds
+        assert race.final_report.region_statuses == solo.final_report.region_statuses
+        assert race.final_report.region_margins == solo.final_report.region_margins
+        for solo_round, race_round in zip(solo.rounds, race.rounds):
+            assert race_round.pool_size == solo_round.pool_size
+            assert race_round.layer_index == solo_round.layer_index
+
+    def test_single_solve_returns_preferred_bytes(self):
+        form = fence_form()
+        race = get_backend("race:scipy,simplex")
+        solo = get_backend("scipy")
+        raced, soloed = race.solve(*form), solo.solve(*form)
+        assert raced.status is LPStatus.OPTIMAL
+        assert raced.values.tobytes() == soloed.values.tobytes()
+        assert raced.objective == soloed.objective
+        # The handle is minted by the preferred member, so a session can
+        # thread it straight back into the next raced round.
+        assert raced.warm_start is not None and raced.warm_start.backend == "scipy"
+
+    def test_win_loss_telemetry_accumulates(self):
+        form = fence_form()
+        race = get_backend("race:scipy,simplex")
+        with obs.isolated():
+            for _ in range(3):
+                race.solve(*form)
+            wins = obs.counter("repro_lp_race_wins_total", labels=("backend",))
+            losses = obs.counter("repro_lp_race_losses_total", labels=("backend",))
+            total_wins = sum(wins.value(backend=name) for name in ("scipy", "simplex"))
+            total_losses = sum(losses.value(backend=name) for name in ("scipy", "simplex"))
+        # Exactly one wall-clock winner per solve; every other finisher
+        # either loses or is cancelled.
+        assert total_wins == 3.0
+        assert total_losses <= 3.0
+
+
+class TestRacingFaultInjection:
+    def test_crashing_racer_does_not_change_the_answer(self, registered_stubs):
+        form = fence_form()
+        race = get_backend("race:scipy,crashing_stub")
+        solo = get_backend("scipy")
+        with obs.isolated():
+            raced = race.solve(*form)
+            failures = obs.counter(
+                "repro_lp_race_failures_total", labels=("backend",)
+            ).value(backend="crashing_stub")
+            cancelled = obs.counter(
+                "repro_lp_race_cancelled_total", labels=("backend",)
+            ).value(backend="crashing_stub")
+        assert raced.status is LPStatus.OPTIMAL
+        assert raced.values.tobytes() == solo.solve(*form).values.tobytes()
+        # The stub is fully accounted for either way the clock falls: as a
+        # failure when its crash lands before the preferred answer, as a
+        # cancellation when the preferred answer arrives first.
+        assert failures + cancelled == 1.0
+
+    def test_crashing_preferred_falls_through_to_next_member(self, registered_stubs):
+        form = fence_form()
+        race = get_backend("race:crashing_stub,scipy")
+        with obs.isolated():
+            raced = race.solve(*form)
+            failures = obs.counter(
+                "repro_lp_race_failures_total", labels=("backend",)
+            ).value(backend="crashing_stub")
+        # Preference falls to the next member rather than raising.
+        assert raced.status is LPStatus.OPTIMAL
+        assert raced.values.tobytes() == get_backend("scipy").solve(*form).values.tobytes()
+        assert failures == 1.0
+
+    def test_hanging_racer_is_cancelled_cooperatively(self, registered_stubs):
+        form = fence_form()
+        hanging = HangingBackend()
+        race = RacingBackend([get_backend("scipy"), hanging])
+        with obs.isolated():
+            raced = race.solve(*form)
+            cancelled = obs.counter(
+                "repro_lp_race_cancelled_total", labels=("backend",)
+            ).value(backend="hanging_stub")
+        assert raced.status is LPStatus.OPTIMAL
+        assert cancelled == 1.0
+        # The race must have set the stub's cancel_event on the way out;
+        # give the abandoned thread a beat to observe it.
+        assert hanging.cancelled.wait(timeout=5.0)
+
+    def test_all_members_failing_raises(self, registered_stubs):
+        form = fence_form()
+        race = RacingBackend([CrashingBackend(), CrashingBackend()])
+        with pytest.raises(LPError):
+            race.solve(*form)
+
+    def test_driver_run_survives_crashing_racer(self, acas_phi8, registered_stubs):
+        """End to end: a crashing member never perturbs a repair."""
+        race = run_driver(
+            acas_phi8, "race:scipy,crashing_stub", incremental=True, workers=1
+        )
+        solo = run_driver(acas_phi8, "scipy", incremental=True, workers=1)
+        assert race.status == "certified"
+        assert value_parameters(race) == value_parameters(solo)

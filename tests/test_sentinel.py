@@ -51,12 +51,36 @@ def service_document(
     }
 
 
-def incremental_document(*, round_seconds: float = 0.5, speedup: float = 2.0) -> dict:
+def incremental_document(
+    *,
+    round_seconds: float = 0.5,
+    speedup: float = 2.0,
+    backends: dict | None = None,
+) -> dict:
     return {
         "benchmark": "incremental",
         "results": [
-            {"incremental": {"mean_round_seconds": round_seconds}, "round_speedup": speedup}
+            {
+                "incremental": {"mean_round_seconds": round_seconds},
+                "round_speedup": speedup,
+                "backends": backends or {},
+            }
         ],
+    }
+
+
+def backend_entry(slug: str, round_seconds: float, *, available: bool = True) -> dict:
+    """One per-backend portfolio entry as bench_incremental records it."""
+    return {
+        "slug": slug,
+        "available": available,
+        "warm_start_is_exact": True,
+        "cold_mean_round_seconds": round_seconds * 2.0,
+        "incremental_mean_round_seconds": round_seconds,
+        "round_speedup": 2.0,
+        "rounds": 5,
+        "warm_started_rounds": 4,
+        "total_seconds": 1.0,
     }
 
 
@@ -77,6 +101,45 @@ class TestExtract:
         series = sentinel.extract(incremental_document())
         assert series["incremental_mean_round_seconds"]["value"] == 0.5
         assert series["incremental_round_speedup"] == {"value": 2.0, "direction": "higher"}
+
+    def test_per_backend_round_cost_series(self):
+        document = incremental_document(
+            backends={
+                "scipy": backend_entry("scipy", 0.2),
+                "race:highs_native,scipy": backend_entry(
+                    "race_highs_native_scipy", 0.3, available=False
+                ),
+            }
+        )
+        series = sentinel.extract(document)
+        assert series["incremental_backend_scipy_round_seconds"] == {
+            "value": 0.2,
+            "direction": "lower",
+        }
+        # Degraded portfolio entries still grade — they measure the spec's
+        # real cost (racing overhead included) in this environment.
+        assert series["incremental_backend_race_highs_native_scipy_round_seconds"][
+            "value"
+        ] == pytest.approx(0.3)
+
+    def test_per_backend_series_average_across_rations(self):
+        document = incremental_document(
+            backends={"scipy": backend_entry("scipy", 0.2)}
+        )
+        document["results"].append(
+            {
+                "incremental": {"mean_round_seconds": 0.5},
+                "round_speedup": 2.0,
+                "backends": {"scipy": backend_entry("scipy", 0.4)},
+            }
+        )
+        series = sentinel.extract(document)
+        assert series["incremental_backend_scipy_round_seconds"]["value"] == pytest.approx(0.3)
+
+    def test_documents_without_backend_tables_extract_cleanly(self):
+        document = incremental_document()
+        series = sentinel.extract(document)
+        assert not any(name.startswith("incremental_backend_") for name in series)
 
     def test_lp_histogram_joins_from_any_benchmark_kind(self):
         document = service_document()
