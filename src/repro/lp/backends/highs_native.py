@@ -42,7 +42,9 @@ every degraded solve increments ``repro_lp_backend_fallback_total``, and
 from __future__ import annotations
 
 import importlib.util
+import itertools
 import logging
+import threading
 
 import numpy as np
 import scipy.sparse as sp
@@ -59,6 +61,11 @@ HIGHSPY_AVAILABLE: bool = importlib.util.find_spec("highspy") is not None
 
 _LOGGER = logging.getLogger("repro.lp")
 _FALLBACK_ANNOUNCED = False
+
+#: Process-wide unique tokens stamped into minted basis payloads, so an
+#: instance can tell "the handle I just minted from my retained basis" apart
+#: from a stale or foreign handle without comparing whole basis vectors.
+_BASIS_TOKENS = itertools.count(1)
 
 
 def _announce_fallback() -> None:
@@ -166,6 +173,12 @@ class HighsNativeBackend(LPBackend):
             _announce_fallback()
         self._highs = None
         self._retained: _RetainedModel | None = None
+        #: Token of the handle minted from the currently retained basis
+        #: (``None`` when the retained basis was never handed out).
+        self._retained_token: int | None = None
+        # The instance retains one live ``highspy.Highs`` across solves, so
+        # concurrent callers (a racing portfolio's threads) must serialize.
+        self._native_lock = threading.Lock()
 
     @property
     def native(self) -> bool:
@@ -195,7 +208,8 @@ class HighsNativeBackend(LPBackend):
             return self._fallback.solve(
                 c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=warm_start
             )
-        return self._solve_native(c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start)
+        with self._native_lock:
+            return self._solve_native(c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start)
 
     # ------------------------------------------------------------------
     # Native path (everything below only runs with highspy importable)
@@ -220,7 +234,20 @@ class HighsNativeBackend(LPBackend):
                     # basis/solution so HiGHS solves from scratch.
                     self._highs.clearSolver()
                 else:
-                    warm_used = True
+                    payload = warm_start.payload or {}
+                    token = payload.get("token")
+                    if token is not None and token == self._retained_token:
+                        # The handle was minted from the basis this instance
+                        # still retains: reusing the retained state *is*
+                        # using the handle.
+                        warm_used = True
+                    else:
+                        # A stale or foreign handle: install its basis
+                        # explicitly, or solve cold — never report a payload
+                        # that was not actually used.
+                        warm_used = self._seed_basis(payload, incoming)
+                        if not warm_used:
+                            self._highs.clearSolver()
             else:
                 self._pass_model(incoming)
                 if warm_start is not None and warm_start.payload is not None:
@@ -229,6 +256,7 @@ class HighsNativeBackend(LPBackend):
         except Exception as error:  # pragma: no cover - defensive: binding drift
             self._highs = None
             self._retained = None
+            self._retained_token = None
             return LPSolution(
                 LPStatus.ERROR, message=f"highspy failure: {error}", warm_start_used=False
             )
@@ -325,21 +353,52 @@ class HighsNativeBackend(LPBackend):
         except Exception:  # pragma: no cover - binding drift / invalid basis
             return False
 
+    def _disambiguate(self, model_status):
+        """Pin down ``kUnboundedOrInfeasible`` with one presolve-off re-solve.
+
+        HiGHS reports the combined status when *presolve* detects the model
+        cannot be optimal but cannot tell unbounded from infeasible; the
+        scipy backend (and the backend-equivalence oracle) always gets a
+        definitive answer, so guessing either way here would make the
+        portfolio disagree with itself.  Returns the (possibly still
+        ambiguous) model status after the re-solve.
+        """
+        import highspy
+
+        try:
+            self._highs.setOptionValue("presolve", "off")
+            self._highs.clearSolver()
+            self._highs.run()
+            model_status = self._highs.getModelStatus()
+        except Exception:  # pragma: no cover - binding drift
+            pass
+        finally:
+            try:
+                self._highs.setOptionValue("presolve", "choose")
+            except Exception:  # pragma: no cover - binding drift
+                pass
+        return model_status
+
     def _extract(self, incoming: _RetainedModel, warm_used: bool) -> LPSolution:
         import highspy
 
         model_status = self._highs.getModelStatus()
+        if model_status == highspy.HighsModelStatus.kUnboundedOrInfeasible:
+            model_status = self._disambiguate(model_status)
         status_map = {
             highspy.HighsModelStatus.kOptimal: LPStatus.OPTIMAL,
             highspy.HighsModelStatus.kInfeasible: LPStatus.INFEASIBLE,
             highspy.HighsModelStatus.kUnbounded: LPStatus.UNBOUNDED,
-            highspy.HighsModelStatus.kUnboundedOrInfeasible: LPStatus.UNBOUNDED,
+            # Still ambiguous after the presolve-off re-solve: refuse to
+            # guess rather than diverge from the other backends' answer.
+            highspy.HighsModelStatus.kUnboundedOrInfeasible: LPStatus.ERROR,
         }
         status = status_map.get(model_status, LPStatus.ERROR)
         info = self._highs.getInfo()
         iterations = int(getattr(info, "simplex_iteration_count", 0)) or None
         message = f"highspy: {self._highs.modelStatusToString(model_status)}"
         if status is not LPStatus.OPTIMAL:
+            self._retained_token = None
             return LPSolution(
                 status, message=message, iterations=iterations, warm_start_used=warm_used
             )
@@ -348,16 +407,20 @@ class HighsNativeBackend(LPBackend):
         handle = None
         try:
             basis = self._highs.getBasis()
+            token = next(_BASIS_TOKENS)
             handle = WarmStart(
                 backend=self.name,
                 values=values,
                 payload={
                     "col_status": [int(v) for v in basis.col_status],
                     "row_status": [int(v) for v in basis.row_status],
+                    "token": token,
                 },
             )
+            self._retained_token = token
         except Exception:  # pragma: no cover - basis unavailable (IPM etc.)
             handle = WarmStart(backend=self.name, values=values)
+            self._retained_token = None
         return LPSolution(
             status=status,
             values=values,

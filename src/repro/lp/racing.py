@@ -24,19 +24,29 @@ the spec.  Concretely:
   preferred answer still wins and the disagreement is counted
   (``repro_lp_race_disagreements_total``) — a racing portfolio is a
   performance and robustness device, never a second source of truth;
-* a racer that raises is counted (``repro_lp_race_failures_total``) and
-  preference falls to the next member; the race only raises if *every*
-  member fails.
+* a racer that raises — or returns an :attr:`~repro.lp.status.LPStatus.ERROR`
+  solution, the in-band spelling of the same failure — is counted
+  (``repro_lp_race_failures_total``) and preference falls to the next
+  member; when *every* member fails, the race returns the most-preferred
+  diagnostic ``ERROR`` solution if one exists and raises only when every
+  member raised.
 
 Once the returned answer is fixed, the remaining racers are cancelled:
-pending ones before they start, running ones cooperatively — the race sets
-the ``cancel_event`` attribute of any member that exposes one (a
-:class:`threading.Event`) and abandons the thread without joining.
+pending ones before they start, running ones cooperatively via a per-run
+:class:`threading.Event` installed as the ``cancel_event`` attribute of any
+member that exposes one.  The event is installed *inside* the member's
+serialized worker (see below), so installing a fresh event can never revoke
+the set event a still-running previous solve is watching.
 
 Racers run on **threads**, not the engine's process pool: scipy/HiGHS and
 ``highspy`` both release the GIL inside the solver, the standard form
 (large CSR matrices) would otherwise be pickled per member per round, and
-thread spawn cost is microseconds against millisecond-scale solves.
+thread spawn cost is microseconds against millisecond-scale solves.  Each
+member owns a **single-thread executor for the portfolio's lifetime**, so
+one member's solves are strictly serialized across rounds: a loser that is
+still running when the race returns can never overlap the next round's
+solve on the same (possibly stateful — ``highs_native`` retains its model)
+backend instance; the next solve simply queues behind it.
 
 Telemetry (all per-``backend`` label, published only when ``repro.obs`` is
 enabled): ``repro_lp_race_wins_total``, ``repro_lp_race_losses_total``,
@@ -54,6 +64,7 @@ import repro.obs as obs
 from repro.exceptions import LPError
 from repro.lp.backends.base import LPBackend
 from repro.lp.model import LPSolution, WarmStart
+from repro.lp.status import LPStatus
 from repro.utils.timing import wall_cpu_now
 
 #: Prefix that selects racing in a backend-name spec.
@@ -92,6 +103,18 @@ class RacingBackend(LPBackend):
             raise LPError("a racing backend needs at least two members")
         self.backends = list(backends)
         self.name = RACE_PREFIX + ",".join(backend.name for backend in self.backends)
+        # One single-thread executor per member, for the portfolio's
+        # lifetime: a member's solves are serialized across rounds, so an
+        # abandoned loser can never run concurrently with the next round's
+        # solve on the same (stateful) backend instance.  Threads spawn
+        # lazily on first submit, so idle portfolios (capability probes)
+        # cost nothing.
+        self._executors = [
+            concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"lp-race-{index}"
+            )
+            for index in range(len(self.backends))
+        ]
 
     @property
     def preferred(self) -> LPBackend:
@@ -112,39 +135,47 @@ class RacingBackend(LPBackend):
 
     def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None) -> LPSolution:
         form = (c, a_ub, b_ub, a_eq, b_eq, bounds)
-        executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=len(self.backends), thread_name_prefix="lp-race"
-        )
-        cancel_events: dict[int, threading.Event] = {}
-        for index, backend in enumerate(self.backends):
-            if hasattr(backend, "cancel_event"):
-                event = threading.Event()
-                backend.cancel_event = event
-                cancel_events[index] = event
+        cancel_events: dict[int, threading.Event] = {
+            index: threading.Event()
+            for index, backend in enumerate(self.backends)
+            if hasattr(backend, "cancel_event")
+        }
         futures = []
-        for backend in self.backends:
+        for index, backend in enumerate(self.backends):
             handle = warm_start if warm_start is not None and backend.accepts_handle(
                 warm_start
             ) else None
-            futures.append(executor.submit(self._run_member, backend, form, handle))
+            futures.append(
+                self._executors[index].submit(
+                    self._run_member, backend, form, handle, cancel_events.get(index)
+                )
+            )
         try:
-            return self._collect(futures, cancel_events)
+            return self._collect(futures)
         finally:
             for future in futures:
                 future.cancel()
             for event in cancel_events.values():
                 event.set()
-            executor.shutdown(wait=False)
 
     # ------------------------------------------------------------------
-    def _run_member(self, backend: LPBackend, form, handle) -> tuple[LPSolution, float]:
+    def _run_member(
+        self, backend: LPBackend, form, handle, cancel_event
+    ) -> tuple[LPSolution, float]:
+        # Installing the per-run event here, on the member's serialized
+        # thread, guarantees no earlier solve of this member is still
+        # watching the attribute when it is replaced; if the race already
+        # finished, the event arrives pre-set and the solve cancels at once.
+        if cancel_event is not None:
+            backend.cancel_event = cancel_event
         start, _ = wall_cpu_now()
         solution = backend.solve(*form, warm_start=handle)
         return solution, wall_cpu_now()[0] - start
 
-    def _collect(self, futures, cancel_events) -> LPSolution:
+    def _collect(self, futures) -> LPSolution:
         """Wait until the best still-possible preference has an answer."""
-        outcomes: dict[int, LPSolution | None] = {}  # None = raised
+        outcomes: dict[int, LPSolution | None] = {}  # None = member failed
+        error_solutions: dict[int, LPSolution] = {}  # failed with diagnostics
         winner: int | None = None
         pending = set(futures)
         chosen: int | None = None
@@ -160,14 +191,23 @@ class RacingBackend(LPBackend):
                     outcomes[index] = None
                     self._count("repro_lp_race_failures_total", index)
                     self._last_error = error
+                    continue
+                self._observe_time(index, elapsed)
+                if solution.status is LPStatus.ERROR:
+                    # An ERROR solution is a member failure spelled in-band
+                    # (the native backend converts binding crashes into
+                    # ERROR rather than raising): preference must fall
+                    # through to the next healthy member, not return it.
+                    outcomes[index] = None
+                    error_solutions[index] = solution
+                    self._count("repro_lp_race_failures_total", index)
+                    continue
+                outcomes[index] = solution
+                if winner is None:
+                    winner = index
+                    self._count("repro_lp_race_wins_total", index)
                 else:
-                    outcomes[index] = solution
-                    self._observe_time(index, elapsed)
-                    if winner is None:
-                        winner = index
-                        self._count("repro_lp_race_wins_total", index)
-                    else:
-                        self._count("repro_lp_race_losses_total", index)
+                    self._count("repro_lp_race_losses_total", index)
             chosen = self._resolved_preference(outcomes)
             if chosen is not None:
                 break
@@ -177,6 +217,12 @@ class RacingBackend(LPBackend):
             if index not in outcomes and index != chosen:
                 self._count("repro_lp_race_cancelled_total", index)
         if chosen is None:
+            # Every member failed.  Prefer returning a diagnostic ERROR
+            # solution (most-preferred member's) over raising: the caller
+            # sees the same status a solo run of that member would report.
+            for index in range(len(self.backends)):
+                if index in error_solutions:
+                    return error_solutions[index]
             raise LPError(
                 f"every racing backend failed ({self.name}); "
                 f"last error: {getattr(self, '_last_error', None)!r}"

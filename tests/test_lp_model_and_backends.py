@@ -464,6 +464,44 @@ class TestHighsNativeBackend:
         assert solution.warm_start.backend == "highs_native"
         assert "col_status" in solution.warm_start.payload
         assert "row_status" in solution.warm_start.payload
+        assert "token" in solution.warm_start.payload
+
+    def test_payloadless_handle_on_append_not_reported_used(self):
+        """On the append path a handle whose payload was never installed
+        must not be reported as used — ``warm_start_used`` means *this*
+        handle steered the solve, not merely "warm state existed"."""
+        model = LPModel()
+        delta = model.add_variables(2, lower=-5.0, upper=5.0)
+        model.add_leq_block(np.array([[1.0, 1.0]]), [4.0], delta)
+        add_l1_objective(model, delta)
+        session = model.incremental_session(backend="highs_native")
+        first = session.solve()
+        assert first.status is LPStatus.OPTIMAL
+        model.add_leq_block(np.array([[-1.0, 0.0]]), [-1.0], delta)
+        session.append_rows()
+        bare = WarmStart(backend="highs_native", values=first.values)
+        second = session.solve(warm_start=bare)
+        assert second.status is LPStatus.OPTIMAL
+        assert second.warm_start_used is False
+
+    def test_foreign_handle_on_append_installed_via_basis(self):
+        """A handle minted by a *different* native instance is genuinely
+        installed (basis extended with basic slacks), so reporting it used
+        is honest."""
+        model = LPModel()
+        delta = model.add_variables(2, lower=-5.0, upper=5.0)
+        model.add_leq_block(np.array([[1.0, 1.0]]), [4.0], delta)
+        add_l1_objective(model, delta)
+        foreign = get_backend("highs_native").solve(*model.standard_form(sparse=True))
+        assert foreign.warm_start is not None and foreign.warm_start.payload
+        session = model.incremental_session(backend="highs_native")
+        first = session.solve()
+        assert first.status is LPStatus.OPTIMAL
+        model.add_leq_block(np.array([[-1.0, 0.0]]), [-1.0], delta)
+        session.append_rows()
+        second = session.solve(warm_start=foreign.warm_start)
+        assert second.status is LPStatus.OPTIMAL
+        assert second.warm_start_used is True
 
     def test_incremental_session_reuses_basis(self):
         model = LPModel()

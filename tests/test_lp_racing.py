@@ -14,6 +14,7 @@ Two layers of pinning:
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -26,7 +27,7 @@ from repro.exceptions import LPError
 from repro.experiments.task3_acas import Task3Setup, strengthened_verification_spec
 from repro.lp.backends import get_backend, register_backend, unregister_backend
 from repro.lp.backends.base import LPBackend
-from repro.lp.model import LPModel
+from repro.lp.model import LPModel, LPSolution
 from repro.lp.norms import add_norm_objective
 from repro.lp.racing import RacingBackend, parse_race_spec
 from repro.lp.status import LPStatus
@@ -91,6 +92,42 @@ class CrashingBackend(LPBackend):
 
     def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None):
         raise RuntimeError("injected solver crash")
+
+
+class ErrorBackend(LPBackend):
+    """A racer that fails in-band: returns ``LPStatus.ERROR`` (the native
+    backend's spelling of a binding crash) instead of raising."""
+
+    name = "error_stub"
+    supports_sparse = True
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None):
+        return LPSolution(LPStatus.ERROR, message="injected in-band failure")
+
+
+class SlowStatefulBackend(LPBackend):
+    """A slow racer that, like ``highs_native``, must never see two solves
+    on one instance at once — overlap is recorded and fails the test."""
+
+    name = "slow_stateful_stub"
+    supports_sparse = True
+
+    def __init__(self) -> None:
+        self.busy = threading.Lock()
+        self.overlapped = threading.Event()
+        self.completed = 0
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=None):
+        if not self.busy.acquire(blocking=False):
+            self.overlapped.set()
+            raise RuntimeError("overlapping solve on a stateful backend")
+        try:
+            time.sleep(0.05)
+            solution = get_backend("scipy").solve(c, a_ub, b_ub, a_eq, b_eq, bounds)
+            self.completed += 1
+            return solution
+        finally:
+            self.busy.release()
 
 
 class HangingBackend(LPBackend):
@@ -234,11 +271,60 @@ class TestRacingFaultInjection:
         # give the abandoned thread a beat to observe it.
         assert hanging.cancelled.wait(timeout=5.0)
 
+    def test_error_status_preferred_falls_through(self):
+        """An ERROR *solution* is a member failure, same as a raise: the
+        race must fall through to the next member, not return it."""
+        form = fence_form()
+        race = RacingBackend([ErrorBackend(), get_backend("scipy")])
+        with obs.isolated():
+            raced = race.solve(*form)
+            failures = obs.counter(
+                "repro_lp_race_failures_total", labels=("backend",)
+            ).value(backend="error_stub")
+        assert raced.status is LPStatus.OPTIMAL
+        assert raced.values.tobytes() == get_backend("scipy").solve(*form).values.tobytes()
+        assert failures == 1.0
+
+    def test_all_members_error_returns_preferred_error(self):
+        """When every member fails in-band, the race returns the preferred
+        member's diagnostic ERROR solution instead of raising."""
+        form = fence_form()
+        race = RacingBackend([ErrorBackend(), ErrorBackend()])
+        raced = race.solve(*form)
+        assert raced.status is LPStatus.ERROR
+        assert "injected in-band failure" in raced.message
+
     def test_all_members_failing_raises(self, registered_stubs):
         form = fence_form()
         race = RacingBackend([CrashingBackend(), CrashingBackend()])
         with pytest.raises(LPError):
             race.solve(*form)
+
+    def test_stateful_member_solves_never_overlap_across_rounds(self):
+        """A loser still running when the race returns must not overlap the
+        next round's solve on the same stateful instance — per-member
+        single-thread executors serialize rounds per member."""
+        form = fence_form()
+        slow = SlowStatefulBackend()
+        race = RacingBackend([get_backend("scipy"), slow])
+        solo = get_backend("scipy").solve(*form)
+        rounds = 5
+        for _ in range(rounds):
+            raced = race.solve(*form)
+            assert raced.status is LPStatus.OPTIMAL
+            assert raced.values.tobytes() == solo.values.tobytes()
+        # Queued slow solves may be cancelled before they ever start (that
+        # is what cancellation is for); the invariant is that whatever did
+        # run never overlapped.  With serialization at most one solve is in
+        # flight after the last race returns — wait for it, then check.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if slow.busy.acquire(blocking=False):
+                slow.busy.release()
+                break
+            time.sleep(0.02)
+        assert not slow.overlapped.is_set()
+        assert slow.completed >= 1
 
     def test_driver_run_survives_crashing_racer(self, acas_phi8, registered_stubs):
         """End to end: a crashing member never perturbs a repair."""
