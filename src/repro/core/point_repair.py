@@ -30,6 +30,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ddnn import DecoupledNetwork
+from repro.core.jacobian import (
+    JacobianChunkStream,
+    encode_constraints_batched,
+    encode_constraints_padded,
+)
 from repro.core.result import RepairResult, RepairTiming
 from repro.core.specs import PointRepairSpec
 from repro.exceptions import SpecificationError
@@ -51,6 +56,8 @@ def point_repair(
     timing: RepairTiming | None = None,
     batched: bool = True,
     sparse: bool | None = None,
+    max_chunk_bytes: int | None = None,
+    engine=None,
 ) -> RepairResult:
     """Repair one (value-channel) layer so every spec point satisfies its constraint.
 
@@ -86,6 +93,17 @@ def point_repair(
         Forwarded to :meth:`repro.lp.model.LPModel.solve`: ``True`` hands
         the backend a CSR standard form, ``False`` a dense one, ``None``
         (default) lets the backend's ``supports_sparse`` flag decide.
+    max_chunk_bytes:
+        ``None`` (default) keeps the in-memory path: one dense
+        ``(total_rows, params)`` block.  A byte budget switches to the
+        out-of-core path — a :class:`~repro.core.jacobian.JacobianChunkStream`
+        feeds bounded CSR row blocks straight into the model, so the dense
+        intermediate never exceeds the budget.  Both paths assemble the
+        same standard form byte for byte.
+    engine:
+        Optional :class:`~repro.engine.engine.ShardedSyrennEngine` used to
+        shard chunk encoding across workers (chunked path only; merged in
+        input order, so results stay byte-identical to serial).
     """
     if spec.input_dimension != _input_size(network):
         raise SpecificationError(
@@ -112,8 +130,17 @@ def point_repair(
     add_norm_objective(model, delta_indices, norm)
 
     with watch.phase("jacobian"):
-        if batched:
-            lhs, rhs = _encode_constraints_batched(ddnn, layer_index, spec)
+        if max_chunk_bytes is not None:
+            stream = JacobianChunkStream(
+                ddnn, layer_index, spec, max_chunk_bytes=max_chunk_bytes, engine=engine
+            )
+            constraint_rows = 0
+            for matrix, rhs in stream:
+                model.add_leq_block(matrix, rhs, delta_indices)
+                constraint_rows += int(rhs.size)
+            encoded_blocks = []
+        elif batched:
+            lhs, rhs = encode_constraints_batched(ddnn, layer_index, spec)
             encoded_blocks = [(lhs, rhs)]
             constraint_rows = rhs.size
         else:
@@ -174,37 +201,10 @@ def point_repair(
     )
 
 
-def _encode_constraints_batched(
-    ddnn: DecoupledNetwork, layer_index: int, spec: PointRepairSpec
-) -> tuple[np.ndarray, np.ndarray]:
-    """Encode ``A_x (N(x) + J_x Δ) ≤ b_x`` for every spec point at once.
-
-    Returns ``(lhs, rhs)`` such that the repair constraints are exactly
-    ``lhs @ Δ ≤ rhs``, with rows in specification order (point 0's rows
-    first) — the same layout the legacy per-point loop produces.  The
-    Jacobians come from one vectorized multi-point pass, and the per-point
-    products ``A_x J_x`` are computed with einsums over groups of points
-    sharing a constraint-row count, so no Python loop runs per point.
-    """
-    outputs, jacobians = ddnn.batch_parameter_jacobian(
-        layer_index, spec.points, spec.activation_points
-    )
-    num_parameters = jacobians.shape[2]
-    rows_per_point = np.array(
-        [constraint.num_constraints for constraint in spec.constraints], dtype=int
-    )
-    total_rows = int(rows_per_point.sum())
-    row_offsets = np.concatenate([[0], np.cumsum(rows_per_point)[:-1]])
-    lhs = np.empty((total_rows, num_parameters))
-    rhs = np.empty(total_rows)
-    for count in np.unique(rows_per_point):
-        group = np.where(rows_per_point == count)[0]
-        a = np.stack([spec.constraints[index].a for index in group])  # (g, count, m)
-        b = np.stack([spec.constraints[index].b for index in group])  # (g, count)
-        target = (row_offsets[group][:, None] + np.arange(count)[None, :]).ravel()
-        lhs[target] = np.einsum("gcm,gmp->gcp", a, jacobians[group]).reshape(-1, num_parameters)
-        rhs[target] = (b - np.einsum("gcm,gm->gc", a, outputs[group])).ravel()
-    return lhs, rhs
+# The grouped-einsum encoder moved to repro.core.jacobian so the chunk
+# stream and the engine workers can share it; the old private name stays
+# importable for differential tests written against it.
+_encode_constraints_batched = encode_constraints_batched
 
 
 def _input_size(network: Network | DecoupledNetwork) -> int:
@@ -244,6 +244,8 @@ class IncrementalPointRepairSession:
         delta_bound: float | None = None,
         sparse: bool | None = None,
         warm_start: bool = True,
+        max_chunk_bytes: int | None = None,
+        engine=None,
     ) -> None:
         if isinstance(network, DecoupledNetwork):
             self.ddnn = network.copy()
@@ -252,6 +254,8 @@ class IncrementalPointRepairSession:
         self.layer_index = self.ddnn._check_repairable(layer_index)
         self.norm = norm
         self.warm_start = bool(warm_start)
+        self.max_chunk_bytes = max_chunk_bytes
+        self.engine = engine
         num_parameters = self.ddnn.value.layers[self.layer_index].num_parameters
         self.model = LPModel()
         bound = np.inf if delta_bound is None else float(delta_bound)
@@ -280,30 +284,33 @@ class IncrementalPointRepairSession:
                 f"network expects {self.ddnn.input_size}"
             )
         watch = Stopwatch()
-        with watch.phase("jacobian"):
-            # A single-point append is padded to a batch of two (the point
-            # duplicated) and the duplicate's rows dropped: NumPy routes
-            # one-row matmuls through a different BLAS kernel than larger
-            # batches, whose last-bit rounding differs — padding keeps every
-            # appended row on the same batched code path as a cold
-            # whole-pool encoding, preserving byte-identity.
-            encode_spec = spec
-            if spec.num_points == 1:
-                encode_spec = PointRepairSpec(
-                    points=np.repeat(spec.points, 2, axis=0),
-                    constraints=list(spec.constraints) * 2,
-                    activation_points=(
-                        np.repeat(spec.activation_points, 2, axis=0)
-                        if spec.activation_points is not None
-                        else None
-                    ),
+        if self.max_chunk_bytes is not None:
+            # Out-of-core append: the chunk stream yields bounded CSR row
+            # blocks which append_rows ingests one at a time, so neither the
+            # dense intermediate nor more than one chunk is ever in flight.
+            with watch.phase("jacobian"):
+                stream = JacobianChunkStream(
+                    self.ddnn,
+                    self.layer_index,
+                    spec,
+                    max_chunk_bytes=self.max_chunk_bytes,
+                    engine=self.engine,
                 )
-            lhs, rhs = _encode_constraints_batched(self.ddnn, self.layer_index, encode_spec)
-            if spec.num_points == 1:
-                rows = spec.constraints[0].num_constraints
-                lhs, rhs = lhs[:rows], rhs[:rows]
-        self.model.add_leq_block(lhs, rhs, self.delta_indices)
-        rows = self.session.append_rows()
+                rows = self.session.append_rows(
+                    stream=(
+                        (matrix, rhs, self.delta_indices) for matrix, rhs in stream
+                    )
+                )
+        else:
+            with watch.phase("jacobian"):
+                # The single-point pad (see encode_constraints_padded): NumPy
+                # routes one-row matmuls through a different BLAS kernel than
+                # larger batches, whose last-bit rounding differs — padding
+                # keeps every appended row on the same batched code path as a
+                # cold whole-pool encoding, preserving byte-identity.
+                lhs, rhs = encode_constraints_padded(self.ddnn, self.layer_index, spec)
+            self.model.add_leq_block(lhs, rhs, self.delta_indices)
+            rows = self.session.append_rows()
         self.num_points += spec.num_points
         self.constraint_rows += rows
         self.rows_appended_last = rows

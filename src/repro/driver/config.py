@@ -50,6 +50,7 @@ class DriverConfig:
     delta_bound: float | None = None
     batched: bool = True
     sparse: bool | None = None
+    memory_budget: int | None = None
 
     def __post_init__(self) -> None:
         # Normalize before validating so a config built from JSON (lists,
@@ -73,6 +74,8 @@ class DriverConfig:
         object.__setattr__(self, "batched", bool(self.batched))
         if self.sparse is not None:
             object.__setattr__(self, "sparse", bool(self.sparse))
+        if self.memory_budget is not None:
+            object.__setattr__(self, "memory_budget", int(self.memory_budget))
 
         if self.mode not in ("point", "polytope"):
             raise RepairError(f'mode must be "point" or "polytope", got {self.mode!r}')
@@ -84,6 +87,8 @@ class DriverConfig:
             raise RepairError("max_new_counterexamples must be positive (or None)")
         if self.layer_schedule is not None and len(self.layer_schedule) == 0:
             raise RepairError("the layer schedule is empty")
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise RepairError("memory_budget must be positive bytes (or None)")
         if self.backend is not None:
             self._validate_backend(self.backend)
 

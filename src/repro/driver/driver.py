@@ -52,10 +52,16 @@ workload lands in).
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
 
 import repro.obs as obs
 from repro.core.ddnn import DecoupledNetwork
@@ -327,6 +333,20 @@ class RepairDriver:
         way to scale round counts).
     norm, backend, delta_bound, batched, sparse:
         Forwarded to :func:`repro.core.point_repair.point_repair`.
+    memory_budget:
+        Soft cap, in bytes, on the repair data path's resident footprint —
+        the single knob of the out-of-core pipeline.  When set, the driver
+        (1) creates (and reloads) its counterexample pool with a
+        ``max_resident_bytes`` spill budget, so old entries spill to
+        atomic npz segments on disk while dedup keys stay resident, and
+        (2) encodes repair constraints through the chunked
+        :class:`~repro.core.jacobian.JacobianChunkStream` path with a
+        matching ``max_chunk_bytes``, so the dense Jacobian block is never
+        materialized (rows stream into the LP as CSR blocks, byte-identical
+        to the in-memory path).  Each tier gets a quarter of the budget;
+        the rest is headroom for the LP itself.  ``None`` (default) keeps
+        every path fully in memory, bit-for-bit as before.  A
+        caller-supplied ``pool`` is never reconfigured.
     on_round:
         Optional callback invoked with each :class:`RoundRecord` as the
         driver finishes with it (its fields final).  This is the progress
@@ -383,12 +403,17 @@ class RepairDriver:
         self.budget_seconds = config.budget_seconds
         self.holdout = holdout
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
+        self.memory_budget = config.memory_budget
+        # A quarter of the budget each for the pool's resident window and
+        # for Jacobian chunks; the remaining half is headroom for the LP.
+        tier = max(1, config.memory_budget // 4) if config.memory_budget else None
+        self.max_chunk_bytes = tier
         if pool is not None:
             self.pool = pool
         elif self.checkpoint_path is not None and self.checkpoint_path.exists():
-            self.pool = CounterexamplePool.load(self.checkpoint_path)
+            self.pool = CounterexamplePool.load(self.checkpoint_path, max_resident_bytes=tier)
         else:
-            self.pool = CounterexamplePool()
+            self.pool = CounterexamplePool(max_resident_bytes=tier)
         self.incremental = config.incremental
         self.warm_start = config.warm_start
         self.max_new_counterexamples = config.max_new_counterexamples
@@ -526,6 +551,8 @@ class RepairDriver:
                             delta_bound=self.delta_bound,
                             batched=self.batched,
                             sparse=self.sparse,
+                            max_chunk_bytes=self.max_chunk_bytes,
+                            engine=self.engine,
                         )
                 _accumulate(timing.repair, result.timing)
                 record.repair_attempted = True
@@ -599,6 +626,13 @@ class RepairDriver:
                 "repro_driver_rounds_total",
                 "CEGIS verify→repair rounds completed.",
             ).inc()
+            peak = _peak_rss_bytes()
+            if peak is not None:
+                obs.gauge(
+                    "repro_peak_rss_bytes",
+                    "Peak resident set size of this process, in bytes "
+                    "(monotone over the process lifetime).",
+                ).set(peak)
             if record.new_counterexamples:
                 obs.counter(
                     "repro_driver_counterexamples_total",
@@ -652,6 +686,8 @@ class RepairDriver:
                 delta_bound=self.delta_bound,
                 sparse=self.sparse,
                 warm_start=self.warm_start,
+                max_chunk_bytes=self.max_chunk_bytes,
+                engine=self.engine,
             )
             self._session_entries = 0
         session = self._session
@@ -678,6 +714,19 @@ class RepairDriver:
         """
         active = getattr(self.verifier, "engine", None)
         return active.stats() if active is not None else None
+
+
+def _peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process in bytes (``None`` off-POSIX).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the value is
+    monotone over the process lifetime, so out-of-core benchmarks must
+    sweep workload sizes in ascending order to attribute peaks.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
 
 
 def _accumulate(total: RepairTiming, part: RepairTiming) -> None:

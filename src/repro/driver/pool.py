@@ -23,32 +23,145 @@ raw bytes of ``-0.0`` differ from ``0.0`` and ``float32`` bytes never match
 ``float32`` dataset sweep would evade dedup forever and fool the driver into
 thinking the verifier keeps finding something new.
 
+**Disk-spill tier.**  With ``max_resident_bytes`` set, the pool keeps only a
+bounded suffix of entries in memory: when the resident window exceeds the
+budget, the oldest resident run is written to a segment file (the same
+per-entry npz layout the checkpoints use) and the in-memory slots are
+dropped.  Dedup keys and per-entry metadata (margins, key-point counts)
+always stay resident, so :meth:`add`, :meth:`worst_margin` and
+``num_key_points`` never touch disk; consumers that need entry *contents*
+(:meth:`point_spec`, :meth:`unsatisfied`, :meth:`save`) stream them back in
+insertion order through a one-segment read cache.  Million-point pools thus
+cost O(keys) RAM, not O(entries).
+
 The pool also persists itself through :mod:`repro.utils.serialization` so an
 interrupted driver run (CI timeout, budget exhaustion) resumes with every
-counterexample it had already paid verification time for.
+counterexample it had already paid verification time for.  Checkpoints are
+written atomically (temp file + ``os.replace``), so a concurrent reader or
+a mid-save kill can never observe a torn archive.
 """
 
 from __future__ import annotations
 
+import bisect
 import hashlib
+import shutil
+import tempfile
+import weakref
 from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.polytope_repair import region_key_points
 from repro.core.specs import PointRepairSpec
 from repro.polytope.hpolytope import HPolytope
-from repro.utils.serialization import load_arrays, save_arrays
+from repro.utils.serialization import load_arrays, save_arrays_atomic
 from repro.verify.base import Counterexample, RegionCounterexample
 
 
-class CounterexamplePool:
-    """An insertion-ordered, deduplicating set of counterexamples."""
+def _pack_entry(arrays: dict, index: int, counterexample: Counterexample) -> None:
+    """Write one counterexample into an npz mapping at slot ``index``.
 
-    def __init__(self, decimals: int = 9) -> None:
+    Region counterexamples additionally carry their vertex array; the
+    presence of ``vertices_i`` in the archive is what marks entry ``i`` as a
+    region on load, so checkpoints written before region support load
+    unchanged.
+    """
+    arrays[f"point_{index}"] = counterexample.point
+    arrays[f"activation_{index}"] = counterexample.resolved_activation_point()
+    arrays[f"constraint_a_{index}"] = counterexample.constraint.a
+    arrays[f"constraint_b_{index}"] = counterexample.constraint.b
+    arrays[f"meta_{index}"] = np.array(
+        [counterexample.margin, float(counterexample.region_index)]
+    )
+    if isinstance(counterexample, RegionCounterexample):
+        arrays[f"vertices_{index}"] = counterexample.vertices
+
+
+def _unpack_entry(arrays: dict, index: int) -> Counterexample:
+    """Invert :func:`_pack_entry` for slot ``index``."""
+    margin, region_index = arrays[f"meta_{index}"]
+    constraint = HPolytope(
+        arrays[f"constraint_a_{index}"], arrays[f"constraint_b_{index}"]
+    )
+    if f"vertices_{index}" in arrays:
+        return RegionCounterexample(
+            point=arrays[f"point_{index}"],
+            constraint=constraint,
+            margin=float(margin),
+            region_index=int(region_index),
+            activation_point=arrays[f"activation_{index}"],
+            vertices=arrays[f"vertices_{index}"],
+        )
+    return Counterexample(
+        point=arrays[f"point_{index}"],
+        constraint=constraint,
+        margin=float(margin),
+        region_index=int(region_index),
+        activation_point=arrays[f"activation_{index}"],
+    )
+
+
+def _entry_nbytes(counterexample: Counterexample) -> int:
+    """Approximate resident footprint of one entry's array payloads."""
+    nbytes = (
+        counterexample.point.nbytes
+        + counterexample.resolved_activation_point().nbytes
+        + counterexample.constraint.a.nbytes
+        + counterexample.constraint.b.nbytes
+    )
+    if isinstance(counterexample, RegionCounterexample):
+        nbytes += counterexample.vertices.nbytes
+    return int(nbytes)
+
+
+class CounterexamplePool:
+    """An insertion-ordered, deduplicating set of counterexamples.
+
+    Parameters
+    ----------
+    decimals:
+        Rounding applied to dedup-key material.
+    max_resident_bytes:
+        ``None`` (default) keeps every entry in memory — the historical
+        behavior.  A byte budget enables the disk-spill tier described in
+        the module docstring; dedup keys and per-entry metadata always stay
+        resident regardless.
+    spill_dir:
+        Directory for spill segment files.  Defaults to a private temporary
+        directory that lives as long as the pool object.
+    """
+
+    def __init__(
+        self,
+        decimals: int = 9,
+        max_resident_bytes: int | None = None,
+        spill_dir: str | Path | None = None,
+    ) -> None:
         self.decimals = int(decimals)
-        self._counterexamples: list[Counterexample] = []
+        if max_resident_bytes is not None:
+            max_resident_bytes = int(max_resident_bytes)
+            if max_resident_bytes < 1:
+                raise ValueError("max_resident_bytes must be positive (or None)")
+        self.max_resident_bytes = max_resident_bytes
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._spill_cleanup: weakref.finalize | None = None
+        # Entry slots: a spilled entry's slot holds None; its contents live
+        # in exactly one segment file.  Metadata lists stay fully resident.
+        self._entries: list[Counterexample | None] = []
         self._keys: set[bytes] = set()
+        self._margins: list[float] = []
+        self._key_counts: list[int] = []
+        self._entry_bytes: list[int] = []
+        self._resident_bytes = 0
+        self._resident_start = 0
+        # Spilled runs, in order: (start, stop, path) with stop == next
+        # segment's start; _segment_starts mirrors the starts for bisect.
+        self._segments: list[tuple[int, int, Path]] = []
+        self._segment_starts: list[int] = []
+        self._segment_cache: tuple[Path, dict] | None = None
+        self.spilled_entries = 0
 
     # ------------------------------------------------------------------
     # Growth
@@ -59,7 +172,13 @@ class CounterexamplePool:
         if key in self._keys:
             return False
         self._keys.add(key)
-        self._counterexamples.append(counterexample)
+        self._entries.append(counterexample)
+        self._margins.append(float(counterexample.margin))
+        self._key_counts.append(int(counterexample.key_points().shape[0]))
+        nbytes = _entry_nbytes(counterexample)
+        self._entry_bytes.append(nbytes)
+        self._resident_bytes += nbytes
+        self._maybe_spill()
         return True
 
     def extend(self, counterexamples: list[Counterexample]) -> int:
@@ -97,31 +216,109 @@ class CounterexamplePool:
         return digest.digest()
 
     # ------------------------------------------------------------------
+    # Spill tier
+    # ------------------------------------------------------------------
+    def _spill_path(self, segment_index: int) -> Path:
+        if self._spill_dir is None:
+            # A plain mkdtemp + weakref finalizer (not TemporaryDirectory,
+            # whose implicit-cleanup finalizer raises a ResourceWarning when
+            # the pool is simply garbage collected).
+            self._spill_dir = Path(tempfile.mkdtemp(prefix="repro-pool-"))
+            self._spill_cleanup = weakref.finalize(
+                self, shutil.rmtree, str(self._spill_dir), ignore_errors=True
+            )
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        return self._spill_dir / f"segment_{segment_index:05d}.npz"
+
+    def _maybe_spill(self) -> None:
+        """Spill the oldest resident run if the window exceeds its budget.
+
+        The run is sized to bring residency down to half the budget (so
+        spills amortize instead of triggering per-add), but always leaves
+        the newest entry resident — the driver touches it immediately.
+        """
+        if self.max_resident_bytes is None:
+            return
+        if self._resident_bytes <= self.max_resident_bytes:
+            return
+        start = self._resident_start
+        stop = start
+        freed = 0
+        target = self._resident_bytes - self.max_resident_bytes // 2
+        while stop < len(self._entries) - 1 and freed < target:
+            freed += self._entry_bytes[stop]
+            stop += 1
+        if stop == start:
+            return
+        path = self._spill_path(len(self._segments))
+        arrays: dict[str, np.ndarray] = {"start": np.array([start]), "count": np.array([stop - start])}
+        for slot, index in enumerate(range(start, stop)):
+            _pack_entry(arrays, slot, self._entries[index])
+        save_arrays_atomic(path, arrays)
+        for index in range(start, stop):
+            self._entries[index] = None
+        self._segments.append((start, stop, path))
+        self._segment_starts.append(start)
+        self._resident_start = stop
+        self._resident_bytes -= freed
+        self.spilled_entries += stop - start
+        if obs.enabled():
+            obs.counter(
+                "repro_pool_spilled_entries_total",
+                "Counterexample-pool entries spilled to disk segments.",
+            ).inc(stop - start)
+
+    def _load_segment(self, segment: tuple[int, int, Path]) -> dict:
+        if self._segment_cache is not None and self._segment_cache[0] == segment[2]:
+            return self._segment_cache[1]
+        arrays = load_arrays(segment[2])
+        self._segment_cache = (segment[2], arrays)
+        return arrays
+
+    def entry(self, index: int) -> Counterexample:
+        """The counterexample at ``index``, loading its spill segment if needed."""
+        resident = self._entries[index]
+        if resident is not None:
+            return resident
+        slot = bisect.bisect_right(self._segment_starts, index) - 1
+        segment = self._segments[slot]
+        arrays = self._load_segment(segment)
+        return _unpack_entry(arrays, index - segment[0])
+
+    def iter_entries(self, start: int = 0):
+        """Iterate entries ``[start:]`` in insertion order, spill-aware.
+
+        Sequential access loads each spill segment at most once thanks to
+        the one-segment read cache.
+        """
+        for index in range(start, len(self._entries)):
+            yield self.entry(index)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._counterexamples)
+        return len(self._entries)
 
     @property
     def counterexamples(self) -> list[Counterexample]:
-        """The pooled counterexamples, in insertion order."""
-        return list(self._counterexamples)
+        """The pooled counterexamples, in insertion order (materializes spills)."""
+        return list(self.iter_entries())
 
     @property
     def num_key_points(self) -> int:
         """Total repair points the pool expands to (regions count all vertices)."""
-        return sum(
-            counterexample.key_points().shape[0]
-            for counterexample in self._counterexamples
-        )
+        return sum(self._key_counts)
 
     @property
     def worst_margin(self) -> float:
         """The largest violation margin in the pool (-inf when empty)."""
-        return max(
-            (counterexample.margin for counterexample in self._counterexamples),
-            default=float("-inf"),
-        )
+        return max(self._margins, default=float("-inf"))
+
+    @property
+    def resident_bytes(self) -> int:
+        """Approximate bytes of entry payloads currently held in memory."""
+        return self._resident_bytes
 
     # ------------------------------------------------------------------
     # Repair interface
@@ -145,17 +342,16 @@ class CounterexamplePool:
         entries are never removed, so a prefix count identifies them
         exactly).
         """
-        if not 0 <= start <= len(self._counterexamples):
+        if not 0 <= start <= len(self._entries):
             raise ValueError(
-                f"start index {start} outside pool of {len(self._counterexamples)}"
+                f"start index {start} outside pool of {len(self._entries)}"
             )
-        selected = self._counterexamples[start:]
-        if not selected:
+        if start == len(self._entries):
             raise ValueError("cannot build a repair spec from an empty pool slice")
         points: list[np.ndarray] = []
         activation_points: list[np.ndarray] = []
         constraints: list[HPolytope] = []
-        for counterexample in selected:
+        for counterexample in self.iter_entries(start):
             tightened = HPolytope(
                 counterexample.constraint.a, counterexample.constraint.b - margin
             )
@@ -173,7 +369,9 @@ class CounterexamplePool:
             activation_points=np.array(activation_points),
         )
 
-    def unsatisfied(self, network, tolerance: float = 1e-6) -> list[int]:
+    def unsatisfied(
+        self, network, tolerance: float = 1e-6, chunk_points: int = 1024
+    ) -> list[int]:
         """Indices of pooled counterexamples ``network`` still violates.
 
         A region counterexample counts as unsatisfied if *any* of its key
@@ -181,76 +379,88 @@ class CounterexamplePool:
         check: after a feasible repair, every pooled counterexample must be
         satisfied (the LP guarantees it), so a non-empty result flags a
         numerical or encoding bug.
+
+        Key points are evaluated in batches of up to ``chunk_points`` rows
+        (one stacked forward pass each) rather than one ``compute`` call per
+        point, which is what keeps this check cheap on 10^5-row pools.
         """
-        indices = []
-        for index, counterexample in enumerate(self._counterexamples):
+        from repro.core.ddnn import DecoupledNetwork
+
+        decoupled = isinstance(network, DecoupledNetwork)
+        batch_points: list[np.ndarray] = []
+        batch_activations: list[np.ndarray] = []
+        batch_owner: list[tuple[int, HPolytope]] = []
+        unsatisfied_indices: set[int] = set()
+
+        def flush() -> None:
+            if not batch_points:
+                return
+            stacked = np.vstack(batch_points)
+            if decoupled:
+                outputs = np.atleast_2d(
+                    network.compute(stacked, np.vstack(batch_activations))
+                )
+            else:
+                outputs = np.atleast_2d(network.compute(stacked))
+            for row, (owner, constraint) in enumerate(batch_owner):
+                if owner in unsatisfied_indices:
+                    continue
+                if constraint.violation(outputs[row]) > tolerance:
+                    unsatisfied_indices.add(owner)
+            batch_points.clear()
+            batch_activations.clear()
+            batch_owner.clear()
+
+        for index, counterexample in enumerate(self.iter_entries()):
             activation = counterexample.resolved_activation_point()
             for point in counterexample.key_points():
-                try:
-                    output = network.compute(point, activation)
-                except TypeError:  # a plain Network: no activation channel
-                    output = network.compute(point)
-                if counterexample.constraint.violation(np.asarray(output)) > tolerance:
-                    indices.append(index)
-                    break
-        return indices
+                batch_points.append(np.atleast_1d(point))
+                batch_activations.append(np.atleast_1d(activation))
+                batch_owner.append((index, counterexample.constraint))
+                if len(batch_points) >= chunk_points:
+                    flush()
+        flush()
+        return sorted(unsatisfied_indices)
 
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Checkpoint the pool to an ``.npz`` file.
+        """Checkpoint the pool to an ``.npz`` file, atomically.
 
-        Region counterexamples additionally carry their vertex array; the
-        presence of ``vertices_i`` in the archive is what marks entry ``i``
-        as a region on load, so checkpoints written before region support
-        load unchanged.
+        The archive is written to a temp file and moved into place with
+        ``os.replace``, so a reader racing the save (or a kill between
+        write and rename) observes either the previous complete checkpoint
+        or the new one — never a torn file.  Spilled entries are streamed
+        back from their segments into the archive.
         """
         arrays: dict[str, np.ndarray] = {
             "decimals": np.array([self.decimals]),
-            "count": np.array([len(self._counterexamples)]),
+            "count": np.array([len(self._entries)]),
         }
-        for index, counterexample in enumerate(self._counterexamples):
-            arrays[f"point_{index}"] = counterexample.point
-            arrays[f"activation_{index}"] = counterexample.resolved_activation_point()
-            arrays[f"constraint_a_{index}"] = counterexample.constraint.a
-            arrays[f"constraint_b_{index}"] = counterexample.constraint.b
-            arrays[f"meta_{index}"] = np.array(
-                [counterexample.margin, float(counterexample.region_index)]
-            )
-            if isinstance(counterexample, RegionCounterexample):
-                arrays[f"vertices_{index}"] = counterexample.vertices
-        save_arrays(Path(path), arrays)
+        for index, counterexample in enumerate(self.iter_entries()):
+            _pack_entry(arrays, index, counterexample)
+        save_arrays_atomic(Path(path), arrays)
 
     @classmethod
-    def load(cls, path: str | Path) -> "CounterexamplePool":
-        """Restore a pool checkpointed by :meth:`save`."""
+    def load(
+        cls,
+        path: str | Path,
+        max_resident_bytes: int | None = None,
+        spill_dir: str | Path | None = None,
+    ) -> "CounterexamplePool":
+        """Restore a pool checkpointed by :meth:`save`.
+
+        ``max_resident_bytes``/``spill_dir`` configure the restored pool's
+        spill tier; entries past the budget spill during the reload itself,
+        so resuming a million-point checkpoint never holds it fully in RAM.
+        """
         arrays = load_arrays(Path(path))
-        pool = cls(decimals=int(arrays["decimals"][0]))
+        pool = cls(
+            decimals=int(arrays["decimals"][0]),
+            max_resident_bytes=max_resident_bytes,
+            spill_dir=spill_dir,
+        )
         for index in range(int(arrays["count"][0])):
-            margin, region_index = arrays[f"meta_{index}"]
-            constraint = HPolytope(
-                arrays[f"constraint_a_{index}"], arrays[f"constraint_b_{index}"]
-            )
-            if f"vertices_{index}" in arrays:
-                pool.add(
-                    RegionCounterexample(
-                        point=arrays[f"point_{index}"],
-                        constraint=constraint,
-                        margin=float(margin),
-                        region_index=int(region_index),
-                        activation_point=arrays[f"activation_{index}"],
-                        vertices=arrays[f"vertices_{index}"],
-                    )
-                )
-            else:
-                pool.add(
-                    Counterexample(
-                        point=arrays[f"point_{index}"],
-                        constraint=constraint,
-                        margin=float(margin),
-                        region_index=int(region_index),
-                        activation_point=arrays[f"activation_{index}"],
-                    )
-                )
+            pool.add(_unpack_entry(arrays, index))
         return pool

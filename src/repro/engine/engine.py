@@ -419,6 +419,37 @@ class ShardedSyrennEngine:
         ]
         return self._gather(tasks, budget)
 
+    def encode_point_batches(
+        self,
+        ddnn,
+        layer_index: int,
+        specs: list,
+        budget: TimeBudget | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Repair constraint rows ``(lhs, rhs)`` for many point batches.
+
+        One ``("encode", …)`` task per :class:`~repro.core.specs.PointRepairSpec`
+        batch, executed with the shared partition-invariant encoder
+        worker-side and merged in input order — the chunk-production shard
+        of the out-of-core repair pipeline.  Workers run the exact same
+        NumPy code on the exact same arrays as an inline encode, so results
+        are byte-identical at any worker count.
+        """
+        fingerprint, payload = self._payload(ddnn)
+        tasks = [
+            (
+                "encode",
+                fingerprint,
+                payload,
+                int(layer_index),
+                spec.points,
+                [(constraint.a, constraint.b) for constraint in spec.constraints],
+                spec.activation_points,
+            )
+            for spec in specs
+        ]
+        return self._gather(tasks, budget)
+
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """A JSON-ready snapshot of scheduler and cache counters."""

@@ -24,6 +24,11 @@ Task tuples understood by :func:`run_task`:
 * ``("sample", fingerprint, payload, region, seed, num_samples)`` →
   ``(points, outputs)`` with the points drawn worker-side from a generator
   built from the derived per-region ``seed``;
+* ``("encode", fingerprint, payload, layer_index, points, constraints,
+  activation_points)`` → the dense ``(lhs, rhs)`` repair constraint rows of
+  one point batch, encoded worker-side with the shared partition-invariant
+  encoder (``constraints`` ships as picklable ``(a, b)`` pairs) — the
+  chunk-production shard of the out-of-core repair pipeline;
 * ``("obs", inner_task)`` → telemetry wrapper: runs ``inner_task`` under
   :func:`repro.obs.capture` and returns ``(result, telemetry)``, where
   ``telemetry`` is the task's metrics snapshot + span export for the parent
@@ -149,6 +154,19 @@ def _run(task: tuple):
         if isinstance(network, DecoupledNetwork):
             return np.atleast_2d(network.compute(points, activations))
         return np.atleast_2d(network.compute(points))
+    if kind == "encode":
+        from repro.core.jacobian import encode_constraints_padded
+        from repro.core.specs import PointRepairSpec
+        from repro.polytope.hpolytope import HPolytope
+
+        _, fingerprint, payload, layer_index, points, constraints, activation_points = task
+        network = _resolve_network(fingerprint, payload)
+        spec = PointRepairSpec(
+            points=points,
+            constraints=[HPolytope(a, b) for a, b in constraints],
+            activation_points=activation_points,
+        )
+        return encode_constraints_padded(network, int(layer_index), spec)
     if kind == "sample":
         _, fingerprint, payload, encoded_region, seed, num_samples = task
         network = _resolve_network(fingerprint, payload)

@@ -143,12 +143,32 @@ class LPSolution:
 
 @dataclass
 class _ConstraintBlock:
-    """A block of constraints ``matrix @ x[columns] (sense) rhs``."""
+    """A block of constraints ``matrix @ x[columns] (sense) rhs``.
 
-    matrix: np.ndarray
+    ``matrix`` is either a dense float64 array or a canonical CSR matrix;
+    every consumer branches on :func:`scipy.sparse.issparse`.
+    """
+
+    matrix: np.ndarray | sp.csr_matrix
     rhs: np.ndarray
     columns: np.ndarray
     equality: bool = False
+
+
+def _coerce_block_matrix(matrix):
+    """Normalize a block matrix: canonical float64 CSR, or dense 2-D array.
+
+    Sparse inputs stay sparse — densifying here would defeat the streamed
+    row pipeline, whose whole point is that full-width dense blocks never
+    exist.  ``sum_duplicates``/``sort_indices`` pin the canonical form so
+    equality of two CSR matrices reduces to equality of their three arrays.
+    """
+    if sp.issparse(matrix):
+        csr = matrix.tocsr().astype(np.float64, copy=False)
+        csr.sum_duplicates()
+        csr.sort_indices()
+        return csr
+    return np.atleast_2d(np.asarray(matrix, dtype=np.float64))
 
 
 @dataclass
@@ -229,9 +249,12 @@ class LPModel:
         """Add constraints ``matrix @ x[columns] <= rhs``.
 
         ``columns`` defaults to all variables currently in the model, in
-        which case ``matrix`` must have ``num_variables`` columns.
+        which case ``matrix`` must have ``num_variables`` columns.  The
+        block matrix may be a ``scipy.sparse`` matrix; it is stored as
+        canonical CSR without ever being densified, which is what the
+        chunked Jacobian stream relies on to keep blocks out of core.
         """
-        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        matrix = _coerce_block_matrix(matrix)
         rhs = np.atleast_1d(np.asarray(rhs, dtype=np.float64))
         if columns is None:
             columns = np.arange(self._num_variables)
@@ -241,7 +264,7 @@ class LPModel:
 
     def add_eq_block(self, matrix, rhs, columns=None) -> None:
         """Add constraints ``matrix @ x[columns] == rhs``."""
-        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        matrix = _coerce_block_matrix(matrix)
         rhs = np.atleast_1d(np.asarray(rhs, dtype=np.float64))
         if columns is None:
             columns = np.arange(self._num_variables)
@@ -336,8 +359,9 @@ class LPModel:
 
         ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
         for block in self._blocks:
-            dense = np.zeros((block.matrix.shape[0], n))
-            dense[:, block.columns] = block.matrix
+            narrow = block.matrix.toarray() if sp.issparse(block.matrix) else block.matrix
+            dense = np.zeros((narrow.shape[0], n))
+            dense[:, block.columns] = narrow
             if block.equality:
                 eq_rows.append(dense)
                 eq_rhs.append(block.rhs)
@@ -362,10 +386,20 @@ class LPModel:
         for block in self._blocks:
             if block.equality is not equality:
                 continue
-            local_rows, local_cols = np.nonzero(block.matrix)
-            data_parts.append(block.matrix[local_rows, local_cols])
-            row_parts.append(row_offset + local_rows)
-            col_parts.append(block.columns[local_cols])
+            if sp.issparse(block.matrix):
+                # Canonical CSR → COO keeps entries in row-major order,
+                # exactly the order np.nonzero produces on the dense
+                # equivalent — so sparse and dense blocks assemble the
+                # same final CSR arrays byte for byte.
+                coo = block.matrix.tocoo()
+                data_parts.append(coo.data)
+                row_parts.append(row_offset + coo.row)
+                col_parts.append(block.columns[coo.col])
+            else:
+                local_rows, local_cols = np.nonzero(block.matrix)
+                data_parts.append(block.matrix[local_rows, local_cols])
+                row_parts.append(row_offset + local_rows)
+                col_parts.append(block.columns[local_cols])
             rhs_parts.append(block.rhs)
             row_offset += block.matrix.shape[0]
         rhs = np.concatenate(rhs_parts) if rhs_parts else np.zeros(0)
@@ -422,6 +456,23 @@ class LPModel:
 
 def _widen_block_sparse(block: _ConstraintBlock, num_variables: int) -> sp.csr_matrix:
     """One narrow constraint block as a full-width CSR matrix."""
+    if sp.issparse(block.matrix):
+        matrix = block.matrix
+        if matrix.shape[1] == num_variables and np.array_equal(
+            block.columns, np.arange(num_variables)
+        ):
+            # Identity column map (the repair LPs' delta-variable prefix):
+            # the narrow CSR *is* the widened CSR.  Sharing its arrays keeps
+            # the streamed path zero-copy per appended chunk.
+            return sp.csr_matrix(
+                (matrix.data, matrix.indices, matrix.indptr),
+                shape=(matrix.shape[0], num_variables),
+            )
+        coo = matrix.tocoo()
+        return sp.coo_matrix(
+            (coo.data, (coo.row, block.columns[coo.col])),
+            shape=(matrix.shape[0], num_variables),
+        ).tocsr()
     local_rows, local_cols = np.nonzero(block.matrix)
     return sp.coo_matrix(
         (block.matrix[local_rows, local_cols], (local_rows, block.columns[local_cols])),
@@ -431,8 +482,9 @@ def _widen_block_sparse(block: _ConstraintBlock, num_variables: int) -> sp.csr_m
 
 def _widen_block_dense(block: _ConstraintBlock, num_variables: int) -> np.ndarray:
     """One narrow constraint block as a full-width dense matrix."""
-    wide = np.zeros((block.matrix.shape[0], num_variables))
-    wide[:, block.columns] = block.matrix
+    narrow = block.matrix.toarray() if sp.issparse(block.matrix) else block.matrix
+    wide = np.zeros((narrow.shape[0], num_variables))
+    wide[:, block.columns] = narrow
     return wide
 
 
@@ -515,8 +567,17 @@ class LPSession:
             rows += block.matrix.shape[0]
         return rows
 
-    def append_rows(self) -> int:
+    def append_rows(self, stream=None) -> int:
         """Widen the blocks added to the model since the last call.
+
+        With ``stream`` given — an iterator of ``(matrix, rhs, columns)``
+        triples, where ``matrix`` may be dense or CSR — each item is added
+        to the model and consumed into the session *immediately*, so only
+        one chunk of the stream is in flight at a time.  This is the
+        ingestion point for :class:`~repro.core.jacobian.JacobianChunkStream`:
+        the model still records every block (cold re-assembly of the same
+        model stays byte-identical), but no dense full-width intermediate
+        ever exists.
 
         Returns the number of constraint rows appended.  Raises
         :class:`LPError` if variables were added after session creation —
@@ -528,9 +589,19 @@ class LPSession:
                 f"{self._num_variables} to {self.model.num_variables} variables; "
                 "incremental sessions only support appending constraint rows"
             )
-        new_blocks = self.model._blocks[self._consumed :]
-        rows = self._consume(new_blocks, tail=False)
+        rows = self._consume(self.model._blocks[self._consumed :], tail=False)
         self._consumed = len(self.model._blocks)
+        if stream is not None:
+            for matrix, rhs, columns in stream:
+                self.model.add_leq_block(matrix, rhs, columns)
+                if self.model.num_variables != self._num_variables:
+                    raise LPError(
+                        "the model grew variables while a row stream was "
+                        "being consumed; incremental sessions only support "
+                        "appending constraint rows"
+                    )
+                rows += self._consume(self.model._blocks[self._consumed :], tail=False)
+                self._consumed = len(self.model._blocks)
         if rows:
             self.rows_appended += rows
             self._cached_matrices = None

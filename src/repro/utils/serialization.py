@@ -95,6 +95,24 @@ def save_arrays(path: Path, arrays: dict[str, np.ndarray]) -> None:
     np.savez_compressed(path, **arrays)
 
 
+def save_arrays_atomic(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """:func:`save_arrays`, but crash-safe.
+
+    The archive is fully written to a sibling temp file and moved into place
+    with :func:`os.replace` (atomic within a filesystem), so a reader —
+    e.g. the service's kill-resume path loading a driver checkpoint — can
+    never observe a torn file: it sees either the old complete archive or
+    the new complete archive.  Writing through an open file object keeps
+    ``np.savez_compressed`` from appending ``.npz`` to the temp name.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as stream:
+        np.savez_compressed(stream, **arrays)
+    os.replace(tmp, path)
+
+
 def load_arrays(path: Path) -> dict[str, np.ndarray]:
     """Load a name→array mapping saved by :func:`save_arrays`.
 

@@ -69,6 +69,16 @@ def incremental_document(
     }
 
 
+def imagenet_document(*, results: list[dict] | None = None) -> dict:
+    """A minimal BENCH_imagenet_scaling.json."""
+    if results is None:
+        results = [
+            {"constraint_rows": 800, "round_seconds_mean": 0.2, "peak_rss_bytes": 2.0e8},
+            {"constraint_rows": 4000, "round_seconds_mean": 1.1, "peak_rss_bytes": 2.6e8},
+        ]
+    return {"benchmark": "imagenet_scaling", "results": results}
+
+
 def backend_entry(slug: str, round_seconds: float, *, available: bool = True) -> dict:
     """One per-backend portfolio entry as bench_incremental records it."""
     return {
@@ -140,6 +150,17 @@ class TestExtract:
         document = incremental_document()
         series = sentinel.extract(document)
         assert not any(name.startswith("incremental_backend_") for name in series)
+
+    def test_imagenet_grades_largest_workload_of_the_sweep(self):
+        series = sentinel.extract(imagenet_document())
+        assert series["imagenet_round_seconds"] == {"value": 1.1, "direction": "lower"}
+        assert series["imagenet_peak_rss_bytes"] == {
+            "value": 2.6e8,
+            "direction": "lower",
+        }
+
+    def test_imagenet_empty_results_extract_cleanly(self):
+        assert sentinel.extract(imagenet_document(results=[])) == {}
 
     def test_lp_histogram_joins_from_any_benchmark_kind(self):
         document = service_document()
